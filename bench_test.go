@@ -1,0 +1,307 @@
+package ictm
+
+import (
+	"testing"
+
+	"ictm/internal/estimation"
+	"ictm/internal/experiments"
+	"ictm/internal/fit"
+	"ictm/internal/packet"
+	"ictm/internal/routing"
+	"ictm/internal/synth"
+	"ictm/internal/topology"
+)
+
+// Figure benchmarks regenerate each experiment of the paper end to end
+// at a reduced scale (the figure pipelines are deterministic, so the
+// shape conclusions match the full-scale runs in EXPERIMENTS.md; run
+// cmd/icexperiments for paper scale).
+const benchScale = 0.02
+
+func benchFigure(b *testing.B, run func(*experiments.World) (*experiments.Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := experiments.NewWorld(experiments.Config{Scale: benchScale})
+		if _, err := run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Example regenerates the 3-node worked example (Fig. 2).
+func BenchmarkFig2Example(b *testing.B) { benchFigure(b, experiments.Fig2) }
+
+// BenchmarkFig3FitImprovement regenerates the IC-vs-gravity fit
+// comparison (Fig. 3).
+func BenchmarkFig3FitImprovement(b *testing.B) { benchFigure(b, experiments.Fig3) }
+
+// BenchmarkFig4TraceF regenerates the packet-trace f measurement (Fig. 4).
+func BenchmarkFig4TraceF(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5WeeklyF regenerates the weekly-f stability sweep (Fig. 5).
+func BenchmarkFig5WeeklyF(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6WeeklyP regenerates the weekly preference overlay (Fig. 6).
+func BenchmarkFig6WeeklyP(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7PCCDF regenerates the preference CCDF fits (Fig. 7).
+func BenchmarkFig7PCCDF(b *testing.B) { benchFigure(b, experiments.Fig7) }
+
+// BenchmarkFig8PvsEgress regenerates the preference-vs-egress scatter
+// (Fig. 8).
+func BenchmarkFig8PvsEgress(b *testing.B) { benchFigure(b, experiments.Fig8) }
+
+// BenchmarkFig9ASeries regenerates the activity time-series extraction
+// (Fig. 9).
+func BenchmarkFig9ASeries(b *testing.B) { benchFigure(b, experiments.Fig9) }
+
+// BenchmarkFig10Asymmetry regenerates the routing-asymmetry ablation
+// (Fig. 10).
+func BenchmarkFig10Asymmetry(b *testing.B) { benchFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11EstOptimal regenerates the all-parameters-measured
+// estimation comparison (Fig. 11).
+func BenchmarkFig11EstOptimal(b *testing.B) { benchFigure(b, experiments.Fig11) }
+
+// BenchmarkFig12EstStableFP regenerates the previous-week-(f,P)
+// estimation comparison (Fig. 12).
+func BenchmarkFig12EstStableFP(b *testing.B) { benchFigure(b, experiments.Fig12) }
+
+// BenchmarkFig13EstStableF regenerates the only-f-known estimation
+// comparison (Fig. 13).
+func BenchmarkFig13EstStableF(b *testing.B) { benchFigure(b, experiments.Fig13) }
+
+// --- micro-benchmarks of the hot kernels ---
+
+func benchSeries(b *testing.B, n, bins int) *Dataset {
+	b.Helper()
+	sc := GeantLike()
+	sc.N = n
+	sc.BinsPerWeek = bins
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkModelEvaluate measures one 22-node IC-model evaluation.
+func BenchmarkModelEvaluate(b *testing.B) {
+	d := benchSeries(b, 22, 14)
+	params := &Params{F: 0.25, Activity: d.TrueActivity[0], Pref: d.TruePref}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := params.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitStableFPWeek measures fitting one (reduced) week.
+func BenchmarkFitStableFPWeek(b *testing.B) {
+	d := benchSeries(b, 22, 56)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fit.StableFP(d.Series, fit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActivityFromMarginals measures the eq. 8 pseudo-inverse
+// recovery for n=22.
+func BenchmarkActivityFromMarginals(b *testing.B) {
+	d := benchSeries(b, 22, 14)
+	x := d.Series.At(0)
+	ing, eg := x.Ingress(), x.Egress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ActivityFromMarginals(0.25, d.TruePref, ing, eg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTomogravityProject measures one projection step with a
+// cached routing factorization (the per-bin cost of estimation).
+func BenchmarkTomogravityProject(b *testing.B) {
+	g, err := topology.Waxman(22, 0.6, 0.4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := estimation.NewSolver(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := benchSeries(b, 22, 14)
+	x := d.Series.At(0)
+	y, err := rm.LinkLoads(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := GravityFromMarginals(x.Ingress(), x.Egress())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Project(prior, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingBuild measures full ECMP routing-matrix construction
+// for a 22-node Waxman topology.
+func BenchmarkRoutingBuild(b *testing.B) {
+	g, err := topology.Waxman(22, 0.6, 0.4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Build(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceMatch measures 5-tuple matching + SYN orientation on a
+// half-hour trace.
+func BenchmarkTraceMatch(b *testing.B) {
+	tr, err := packet.GenerateBidirectional(packet.TraceConfig{
+		Duration: 1800, ConnRatePerSide: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := packet.Match(tr.AB, tr.BA)
+		if len(m.Connections) == 0 {
+			b.Fatal("no connections matched")
+		}
+	}
+}
+
+// BenchmarkIPF measures iterative proportional fitting on a 22-node
+// matrix.
+func BenchmarkIPF(b *testing.B) {
+	d := benchSeries(b, 22, 14)
+	x := d.Series.At(0)
+	rows, cols := x.Ingress(), x.Egress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := x.Clone()
+		if _, err := estimation.IPF(work, rows, cols, 1e-9, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// benchEstimation runs the estimation pipeline over a small fixture with
+// the given options, for pipeline-variant ablations.
+func benchEstimation(b *testing.B, opts EstimationOptions) {
+	b.Helper()
+	d := benchSeries(b, 12, 14)
+	g, err := topology.Waxman(12, 0.6, 0.4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EstimateTMs(rm, d.Series, GravityPrior{}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEstimationWithIPF is the default pipeline (step 3 on).
+func BenchmarkAblationEstimationWithIPF(b *testing.B) {
+	benchEstimation(b, EstimationOptions{})
+}
+
+// BenchmarkAblationEstimationNoIPF drops step 3 (IPF) to measure its
+// cost share.
+func BenchmarkAblationEstimationNoIPF(b *testing.B) {
+	benchEstimation(b, EstimationOptions{SkipIPF: true})
+}
+
+// BenchmarkAblationEstimationWeighted swaps step 2 for the
+// prior-weighted tomogravity variant (per-bin refactorization).
+func BenchmarkAblationEstimationWeighted(b *testing.B) {
+	benchEstimation(b, EstimationOptions{Weighted: true})
+}
+
+// BenchmarkAblationFitSimplified and ...FitGeneral compare the
+// simplified (3-parameter-family) and general (per-pair f) fitters on
+// the same series.
+func BenchmarkAblationFitSimplified(b *testing.B) {
+	d := benchSeries(b, 14, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fit.StableFP(d.Series, fit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFitGeneral(b *testing.B) {
+	d := benchSeries(b, 14, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fit.General(d.Series, fit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFitTryMirror measures the mirror-guard's 2x cost.
+func BenchmarkAblationFitTryMirror(b *testing.B) {
+	d := benchSeries(b, 14, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fit.StableFP(d.Series, fit.Options{TryMirror: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRoutingRingVsWaxman compares routing-matrix build
+// cost across topology families of equal size.
+func BenchmarkAblationRoutingRing(b *testing.B) {
+	g, err := topology.RingChords(22, 14, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Build(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

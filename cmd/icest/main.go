@@ -1,0 +1,130 @@
+// Command icest runs the TM-estimation comparison of Section 6 on a
+// synthetic scenario: it generates ground truth, builds a Waxman
+// topology and ECMP routing matrix, runs the tomogravity pipeline with
+// the gravity prior and the three IC priors, and prints per-prior error
+// summaries.
+//
+// Usage:
+//
+//	icest -scenario geant -weeks 2 -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ictm/internal/estimation"
+	"ictm/internal/fit"
+	"ictm/internal/routing"
+	"ictm/internal/stats"
+	"ictm/internal/synth"
+	"ictm/internal/topology"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "geant", `preset: "geant" or "totem"`)
+		weeks     = flag.Int("weeks", 2, "weeks to generate (week 0 calibrates, week 1 is estimated)")
+		scale     = flag.Float64("scale", 0.25, "bins-per-week scale factor (1 = full paper scale)")
+		seed      = flag.Uint64("seed", 0, "override scenario seed (0 = preset default)")
+		weighted  = flag.Bool("weighted", false, "use prior-weighted tomogravity (slower)")
+		linkNoise = flag.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
+	)
+	flag.Parse()
+
+	var sc synth.Scenario
+	switch *scenario {
+	case "geant":
+		sc = synth.GeantLike()
+	case "totem":
+		sc = synth.TotemLike()
+	default:
+		fatalf("unknown scenario %q", *scenario)
+	}
+	if *weeks < 2 {
+		fatalf("need at least 2 weeks (calibration + target)")
+	}
+	sc.Weeks = *weeks
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	perDay := int(float64(sc.BinsPerWeek)*(*scale)) / 7
+	if perDay < 2 {
+		perDay = 2
+	}
+	sc.BinsPerWeek = perDay * 7
+
+	fmt.Fprintf(os.Stderr, "icest: generating %s (n=%d, %d bins/week, %d weeks)\n",
+		sc.Name, sc.N, sc.BinsPerWeek, sc.Weeks)
+	d, err := synth.Generate(sc)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	calib, err := d.Week(0)
+	if err != nil {
+		fatalf("week 0: %v", err)
+	}
+	target, err := d.Week(1)
+	if err != nil {
+		fatalf("week 1: %v", err)
+	}
+
+	fmt.Fprintln(os.Stderr, "icest: fitting calibration week (stable-fP)")
+	calibFit, err := fit.StableFP(calib, fit.Options{})
+	if err != nil {
+		fatalf("calibration fit: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "icest: fitting target week (for the all-measured prior)")
+	targetFit, err := fit.StableFP(target, fit.Options{})
+	if err != nil {
+		fatalf("target fit: %v", err)
+	}
+
+	g, err := topology.Waxman(sc.N, 0.6, 0.4, sc.Seed)
+	if err != nil {
+		fatalf("topology: %v", err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		fatalf("routing: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "icest: topology has %d directed links, %d measurement rows\n",
+		rm.L, rm.Rows())
+
+	fanout, err := estimation.NewFanoutPrior(calib)
+	if err != nil {
+		fatalf("fanout calibration: %v", err)
+	}
+	priors := []estimation.Prior{
+		estimation.GravityPrior{},
+		fanout,
+		&estimation.ICOptimalPrior{Params: targetFit.Params},
+		&estimation.StableFPPrior{F: calibFit.Params.F, Pref: calibFit.Params.Pref},
+		&estimation.StableFPrior{F: calibFit.Params.F},
+	}
+	opts := estimation.Options{
+		Weighted:       *weighted,
+		LinkNoiseSigma: *linkNoise,
+		NoiseSeed:      sc.Seed,
+	}
+	results, err := estimation.Compare(rm, target, priors, opts)
+	if err != nil {
+		fatalf("estimation: %v", err)
+	}
+
+	grav := results["gravity"]
+	fmt.Printf("%-14s %-12s %-12s %-12s\n", "prior", "mean RelL2", "p95 RelL2", "vs gravity")
+	for _, p := range priors {
+		errs := results[p.Name()]
+		p95, _ := stats.Quantile(errs, 0.95)
+		imp := 100 * (stats.Mean(grav) - stats.Mean(errs)) / stats.Mean(grav)
+		fmt.Printf("%-14s %-12.4f %-12.4f %+.1f%%\n", p.Name(), stats.Mean(errs), p95, imp)
+	}
+	fmt.Printf("calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "icest: "+format+"\n", args...)
+	os.Exit(1)
+}

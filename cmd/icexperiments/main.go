@@ -1,0 +1,100 @@
+// Command icexperiments regenerates every figure of the paper's
+// evaluation on the synthetic substrates and prints paper-style
+// summaries. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	icexperiments                  # full paper scale (minutes)
+//	icexperiments -scale 0.1      # quick pass
+//	icexperiments -fig fig3       # one figure
+//	icexperiments -fig fig4 -csv  # dump the figure's series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ictm/internal/experiments"
+	"ictm/internal/report"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1, "bins-per-week scale factor (1 = full paper scale)")
+		fig      = flag.String("fig", "", "run a single figure (fig2..fig13); empty = all")
+		csv      = flag.Bool("csv", false, "dump series as CSV instead of summaries")
+		check    = flag.Bool("check", false, "validate the DESIGN.md shape targets and exit non-zero on violation")
+		markdown = flag.Bool("markdown", false, "emit a Markdown reproduction report (all figures)")
+	)
+	flag.Parse()
+
+	world := experiments.NewWorld(experiments.Config{Scale: *scale})
+
+	if *check {
+		if err := experiments.CheckAll(world); err != nil {
+			fatalf("shape check failed: %v", err)
+		}
+		fmt.Println("icexperiments: all shape targets hold")
+		return
+	}
+
+	if *markdown {
+		results, err := experiments.RunAll(world, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := report.Write(os.Stdout, results); err != nil {
+			fatalf("report: %v", err)
+		}
+		return
+	}
+
+	if *fig == "" {
+		results, err := experiments.RunAll(world, pick(!*csv))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *csv {
+			for _, r := range results {
+				if err := r.WriteCSV(os.Stdout); err != nil {
+					fatalf("csv: %v", err)
+				}
+			}
+		}
+		return
+	}
+
+	for _, r := range experiments.All() {
+		if r.ID != *fig {
+			continue
+		}
+		res, err := r.Run(world)
+		if err != nil {
+			fatalf("%s: %v", r.ID, err)
+		}
+		if *csv {
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fatalf("csv: %v", err)
+			}
+		} else {
+			res.Print(os.Stdout, false)
+		}
+		return
+	}
+	fatalf("unknown figure %q (want fig2..fig13)", *fig)
+}
+
+// pick returns stdout when live printing is wanted, nil otherwise.
+func pick(live bool) *os.File {
+	if live {
+		return os.Stdout
+	}
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "icexperiments: "+format+"\n", args...)
+	os.Exit(1)
+}

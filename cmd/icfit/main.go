@@ -1,0 +1,101 @@
+// Command icfit fits IC-model parameters to a traffic-matrix series
+// (CSV in the icgen format) and reports the fitted f, preferences and
+// fit quality against the gravity baseline.
+//
+// Usage:
+//
+//	icgen -scenario geant -weeks 1 | icfit -variant stable-fp
+//	icfit -in tm.csv -variant stable-f -f0 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ictm/internal/fit"
+	"ictm/internal/gravity"
+	"ictm/internal/stats"
+	"ictm/internal/tm"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", `input CSV ("-" = stdin)`)
+		variant = flag.String("variant", "stable-fp", "model variant: stable-fp, stable-f, time-varying")
+		f0      = flag.Float64("f0", 0.25, "initial forward ratio")
+		fixF    = flag.Bool("fixf", false, "pin f at -f0 instead of fitting it")
+		binSec  = flag.Int("binsec", 300, "bin length in seconds (metadata only)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		file, err := os.Open(*in)
+		if err != nil {
+			fatalf("open %s: %v", *in, err)
+		}
+		defer file.Close()
+		r = file
+	}
+	series, err := tm.ReadCSV(r, *binSec)
+	if err != nil {
+		fatalf("read series: %v", err)
+	}
+
+	opts := fit.Options{F0: *f0, FixF: *fixF}
+	var res *fit.Result
+	switch *variant {
+	case "stable-fp":
+		res, err = fit.StableFP(series, opts)
+	case "stable-f":
+		res, err = fit.StableF(series, opts)
+	case "time-varying":
+		res, err = fit.TimeVarying(series, opts)
+	default:
+		fatalf("unknown variant %q", *variant)
+	}
+	if err != nil {
+		fatalf("fit: %v", err)
+	}
+
+	gravEst, err := gravity.EstimateSeries(series)
+	if err != nil {
+		fatalf("gravity: %v", err)
+	}
+	gravErrs, err := tm.RelL2Series(series, gravEst)
+	if err != nil {
+		fatalf("gravity errors: %v", err)
+	}
+	icErrs, err := fit.RelL2PerBin(res, series)
+	if err != nil {
+		fatalf("ic errors: %v", err)
+	}
+	imp, err := tm.ImprovementSeries(gravErrs, icErrs)
+	if err != nil {
+		fatalf("improvement: %v", err)
+	}
+
+	fmt.Printf("variant            %s\n", res.Params.Variant)
+	fmt.Printf("nodes x bins       %d x %d\n", series.N(), series.Len())
+	fmt.Printf("iterations         %d\n", res.Iterations)
+	if res.Params.Variant.String() != "time-varying" {
+		fmt.Printf("fitted f           %.4f\n", res.Params.F)
+	}
+	fmt.Printf("mean RelL2 (IC)    %.4f\n", res.MeanRelL2)
+	fmt.Printf("mean RelL2 (grav)  %.4f\n", stats.Mean(gravErrs))
+	fmt.Printf("mean improvement   %.1f%%\n", stats.Mean(imp))
+	if res.Params.Pref != nil {
+		fmt.Printf("preferences        ")
+		for _, p := range res.Params.Pref {
+			fmt.Printf("%.4f ", p)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "icfit: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Bidirectional trace analysis (Section 5.2 of the paper): generate an
+// Abilene-style two-hour packet trace on a backbone link pair, match
+// flows across directions by 5-tuple, orient connections by SYN, and
+// measure the forward ratio f per 5-minute bin.
+//
+// Run with: go run ./examples/traceanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ictm"
+)
+
+func main() {
+	cfg := ictm.TraceConfig{
+		Duration:            7200, // two hours, like the IPLS traces
+		ConnRatePerSide:     4,
+		PreexistingFraction: 0.06, // connections straddling the trace start
+		Seed:                2002,
+	}
+	tr, err := ictm.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d flows eastbound, %d westbound\n", len(tr.AB), len(tr.BA))
+
+	fAB, fBA, unknown, err := ictm.AnalyzeTrace(tr, cfg.Duration, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-bin forward ratio (the paper's Fig. 4):")
+	fmt.Printf("%-5s %-8s %-8s\n", "bin", "f A->B", "f B->A")
+	for i := range fAB {
+		fmt.Printf("%-5d %-8.3f %-8.3f\n", i, fAB[i].F, fBA[i].F)
+	}
+
+	trueA, trueB := tr.TrueF()
+	fmt.Printf("\nground truth: %.3f / %.3f; unknown traffic %.1f%%\n",
+		trueA, trueB, 100*unknown)
+
+	fmt.Printf("application mix: %d classes (web-dominated)\n", len(ictm.DefaultAppMix()))
+	fmt.Println("\nreadings in the 0.2-0.3 band justify the IC model's default f;")
+	fmt.Println("the two directions agreeing supports spatial stability of f.")
+}

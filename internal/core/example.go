@@ -1,0 +1,36 @@
+package core
+
+import "ictm/internal/tm"
+
+// Fig2Example reproduces the worked example of Figure 2 in the paper:
+// a three-node network (A, B, C) in which every node initiates one
+// connection to each node (including a same-access-point connection),
+// with equal forward and reverse volumes per connection of 100, 2 and 1
+// packets for A, B and C respectively.
+//
+// In IC terms this is f = 1/2, uniform preferences, and activities
+// A_i = 6·v_i (three connections, two directions of v_i packets each).
+// The resulting OD matrix has X_ij = v_i + v_j, and the example's point
+// is that P[E = j | I = i] varies strongly with i even though connection
+// initiators and responders are independent — so packet-level
+// ingress/egress independence (the gravity assumption) fails.
+func Fig2Example() (*Params, *tm.TrafficMatrix) {
+	vols := []float64{100, 2, 1} // per-direction packets for A, B, C
+	n := len(vols)
+	params := &Params{
+		F:        0.5,
+		Activity: make([]float64, n),
+		Pref:     make([]float64, n),
+	}
+	for i, v := range vols {
+		params.Activity[i] = 6 * v
+		params.Pref[i] = 1
+	}
+	x := tm.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, vols[i]+vols[j])
+		}
+	}
+	return params, x
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/rng"
+)
+
+func validSeriesParams(variant Variant, n, T int, p *rng.PCG) *SeriesParams {
+	sp := &SeriesParams{Variant: variant, N: n, T: T}
+	sp.Activity = make([][]float64, T)
+	for t := range sp.Activity {
+		sp.Activity[t] = make([]float64, n)
+		for i := range sp.Activity[t] {
+			sp.Activity[t][i] = p.LogNormal(8, 0.5)
+		}
+	}
+	prefs := func() []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = p.LogNormal(-4.3, 1.7)
+		}
+		return out
+	}
+	switch variant {
+	case TimeVarying:
+		sp.FPerBin = make([]float64, T)
+		sp.PrefPerBin = make([][]float64, T)
+		for t := 0; t < T; t++ {
+			sp.FPerBin[t] = 0.2 + 0.1*p.Float64()
+			sp.PrefPerBin[t] = prefs()
+		}
+	case StableF:
+		sp.F = 0.25
+		sp.PrefPerBin = make([][]float64, T)
+		for t := 0; t < T; t++ {
+			sp.PrefPerBin[t] = prefs()
+		}
+	case StableFP:
+		sp.F = 0.25
+		sp.Pref = prefs()
+	}
+	return sp
+}
+
+func TestVariantString(t *testing.T) {
+	cases := map[Variant]string{
+		TimeVarying: "time-varying",
+		StableF:     "stable-f",
+		StableFP:    "stable-fP",
+		Variant(9):  "Variant(9)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestDegreesOfFreedom(t *testing.T) {
+	// Paper, Section 5.1: gravity 2nt-1, time-varying 3nt,
+	// stable-f 2nt+1, stable-fP nt+n+1.
+	n, T := 22, 2016
+	if got := TimeVarying.DegreesOfFreedom(n, T); got != 3*n*T {
+		t.Errorf("time-varying dof = %d", got)
+	}
+	if got := StableF.DegreesOfFreedom(n, T); got != 2*n*T+1 {
+		t.Errorf("stable-f dof = %d", got)
+	}
+	if got := StableFP.DegreesOfFreedom(n, T); got != n*T+n+1 {
+		t.Errorf("stable-fP dof = %d", got)
+	}
+	if got := GravityDegreesOfFreedom(n, T); got != 2*n*T-1 {
+		t.Errorf("gravity dof = %d", got)
+	}
+	// The paper's key point: stable-fP needs about half the gravity inputs.
+	if StableFP.DegreesOfFreedom(n, T) >= GravityDegreesOfFreedom(n, T) {
+		t.Error("stable-fP should need fewer inputs than gravity")
+	}
+	if got := Variant(9).DegreesOfFreedom(n, T); got != 0 {
+		t.Errorf("unknown variant dof = %d, want 0", got)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	p := rng.New(40)
+	for _, v := range []Variant{TimeVarying, StableF, StableFP} {
+		sp := validSeriesParams(v, 5, 4, p)
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%v: valid params rejected: %v", v, err)
+		}
+	}
+	bad := validSeriesParams(StableFP, 5, 4, p)
+	bad.Pref = bad.Pref[:3]
+	if err := bad.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("short pref: err = %v", err)
+	}
+	bad2 := validSeriesParams(TimeVarying, 5, 4, p)
+	bad2.FPerBin = bad2.FPerBin[:2]
+	if err := bad2.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("short FPerBin: err = %v", err)
+	}
+	bad3 := validSeriesParams(StableF, 5, 4, p)
+	bad3.Activity[2] = bad3.Activity[2][:3]
+	if err := bad3.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("ragged activity: err = %v", err)
+	}
+	bad4 := validSeriesParams(StableF, 5, 4, p)
+	bad4.Variant = Variant(7)
+	if err := bad4.Validate(); !errors.Is(err, ErrParams) {
+		t.Errorf("unknown variant: err = %v", err)
+	}
+}
+
+func TestBinParamsSelectsVariantFields(t *testing.T) {
+	p := rng.New(41)
+	tv := validSeriesParams(TimeVarying, 4, 3, p)
+	bp, err := tv.BinParams(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.F != tv.FPerBin[1] {
+		t.Errorf("time-varying bin f = %g, want %g", bp.F, tv.FPerBin[1])
+	}
+	sfp := validSeriesParams(StableFP, 4, 3, p)
+	bp, err = sfp.BinParams(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.F != sfp.F || &bp.Pref[0] != &sfp.Pref[0] {
+		t.Error("stable-fP bin must share the stable pref vector")
+	}
+	if _, err := sfp.BinParams(5); !errors.Is(err, ErrParams) {
+		t.Error("out-of-range bin must fail")
+	}
+}
+
+func TestEvaluateSeries(t *testing.T) {
+	p := rng.New(42)
+	sp := validSeriesParams(StableFP, 6, 5, p)
+	series, err := sp.EvaluateSeries(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() != 5 || series.N() != 6 {
+		t.Fatalf("series shape %dx%d", series.N(), series.Len())
+	}
+	// Each bin's total equals the bin's total activity.
+	for tb := 0; tb < 5; tb++ {
+		var sa float64
+		for _, a := range sp.Activity[tb] {
+			sa += a
+		}
+		if math.Abs(series.At(tb).Total()-sa) > 1e-9*sa {
+			t.Errorf("bin %d: total %g != ΣA %g", tb, series.At(tb).Total(), sa)
+		}
+	}
+}

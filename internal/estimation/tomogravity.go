@@ -1,0 +1,222 @@
+package estimation
+
+import (
+	"fmt"
+	"math"
+
+	"ictm/internal/linalg"
+	"ictm/internal/routing"
+	"ictm/internal/tm"
+)
+
+// Solver performs the tomogravity least-squares projection (step 2).
+// It caches the SVD of the routing matrix so the per-bin work is two
+// matrix-vector products, which matters when sweeping thousands of bins.
+type Solver struct {
+	rm  *routing.Matrix
+	svd *linalg.SVD
+	// cut is the singular-value cutoff below which directions are
+	// treated as null space (R is always rank deficient: ingress rows
+	// sum to the same total as egress rows).
+	cut float64
+}
+
+// NewSolver factors the routing matrix. The factorization is reused
+// across bins and priors.
+func NewSolver(rm *routing.Matrix) (*Solver, error) {
+	svd, err := linalg.NewSVD(rm.R)
+	if err != nil {
+		return nil, fmt.Errorf("estimation: SVD of routing matrix: %w", err)
+	}
+	cut := 0.0
+	if len(svd.S) > 0 {
+		cut = 1e-10 * svd.S[0]
+	}
+	return &Solver{rm: rm, svd: svd, cut: cut}, nil
+}
+
+// Project returns the minimal-L2 correction of the prior onto the
+// link-constraint manifold:
+//
+//	x̂ = x_prior + R⁺ (y − R·x_prior)
+//
+// which among all x with R·x = y (in the least-squares sense when y is
+// noisy/inconsistent) is the one closest to the prior in Euclidean norm.
+// The result can contain small negative entries; the caller is expected
+// to clamp and re-balance (see EstimateBin).
+func (s *Solver) Project(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
+	if prior.N() != s.rm.N {
+		return nil, fmt.Errorf("%w: prior over %d nodes for n=%d routing", ErrInput, prior.N(), s.rm.N)
+	}
+	if len(y) != s.rm.Rows() {
+		return nil, fmt.Errorf("%w: y of %d, want %d", ErrInput, len(y), s.rm.Rows())
+	}
+	// Residual in measurement space.
+	rp, err := s.rm.R.MulVec(prior.Vec())
+	if err != nil {
+		return nil, err
+	}
+	res := linalg.SubVec(y, rp)
+	// Apply R⁺ = V Σ⁺ Uᵀ to the residual using the cached SVD.
+	m := len(res)
+	ncols := s.rm.R.Cols()
+	correction := make([]float64, ncols)
+	for k, sv := range s.svd.S {
+		if sv <= s.cut {
+			continue
+		}
+		var ub float64
+		for r := 0; r < m; r++ {
+			ub += s.svd.U.At(r, k) * res[r]
+		}
+		coef := ub / sv
+		if coef == 0 {
+			continue
+		}
+		for c := 0; c < ncols; c++ {
+			correction[c] += coef * s.svd.V.At(c, k)
+		}
+	}
+	out := prior.Clone()
+	ov := out.Vec()
+	for i := range ov {
+		ov[i] += correction[i]
+	}
+	return out, nil
+}
+
+// ProjectWeighted performs the prior-weighted tomogravity step:
+//
+//	minimize ||W^{-1/2}·(x - prior)||₂  subject to  R·x = y
+//
+// with W = diag(max(prior, floor)). Substituting x = prior + W^{1/2}·z
+// reduces it to the minimum-norm solution of (R·W^{1/2})·z = y − R·prior,
+// solved per call by SVD — O((L+2n)²·n²) per bin versus two
+// matrix-vector products for Project, so use it for studies rather than
+// long sweeps. The weighting reproduces Zhang et al.'s observation that
+// corrections should scale with flow size.
+func (s *Solver) ProjectWeighted(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
+	if prior.N() != s.rm.N {
+		return nil, fmt.Errorf("%w: prior over %d nodes for n=%d routing", ErrInput, prior.N(), s.rm.N)
+	}
+	if len(y) != s.rm.Rows() {
+		return nil, fmt.Errorf("%w: y of %d, want %d", ErrInput, len(y), s.rm.Rows())
+	}
+	rp, err := s.rm.R.MulVec(prior.Vec())
+	if err != nil {
+		return nil, err
+	}
+	res := linalg.SubVec(y, rp)
+
+	// Weight floor: a small fraction of the mean prior flow keeps zero
+	// prior entries correctable without dominating the geometry.
+	ncols := s.rm.R.Cols()
+	var mean float64
+	for _, v := range prior.Vec() {
+		mean += v
+	}
+	mean /= float64(ncols)
+	floor := 1e-3 * mean
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	sqrtw := make([]float64, ncols)
+	for i, v := range prior.Vec() {
+		w := v
+		if w < floor {
+			w = floor
+		}
+		sqrtw[i] = math.Sqrt(w)
+	}
+
+	// Scaled routing matrix R·W^{1/2} (column scaling).
+	rw := s.rm.R.Clone()
+	for r := 0; r < rw.Rows(); r++ {
+		row := rw.Row(r)
+		for c := range row {
+			row[c] *= sqrtw[c]
+		}
+	}
+	z, err := linalg.SolveMinNorm(rw, res, 0)
+	if err != nil {
+		return nil, fmt.Errorf("estimation: weighted projection: %w", err)
+	}
+	out := prior.Clone()
+	ov := out.Vec()
+	for i := range ov {
+		ov[i] += sqrtw[i] * z[i]
+	}
+	return out, nil
+}
+
+// IPF rescales x by iterative proportional fitting until its row sums
+// match rowTargets and column sums match colTargets within tol
+// (relative). Entries stay non-negative; zero rows/columns with positive
+// targets are seeded uniformly first so mass can be created there.
+// It returns the number of sweeps performed.
+func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, maxIter int) (int, error) {
+	n := x.N()
+	if err := validateMarginals(n, rowTargets, colTargets); err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	// Seed zero rows/columns that must carry mass.
+	ing := x.Ingress()
+	for i := 0; i < n; i++ {
+		if rowTargets[i] > 0 && ing[i] == 0 {
+			for j := 0; j < n; j++ {
+				x.Set(i, j, rowTargets[i]/float64(n))
+			}
+		}
+	}
+	eg := x.Egress()
+	for j := 0; j < n; j++ {
+		if colTargets[j] > 0 && eg[j] == 0 {
+			for i := 0; i < n; i++ {
+				x.Add(i, j, colTargets[j]/float64(n))
+			}
+		}
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		// Row scaling.
+		ing = x.Ingress()
+		for i := 0; i < n; i++ {
+			if ing[i] == 0 {
+				continue
+			}
+			scale := rowTargets[i] / ing[i]
+			for j := 0; j < n; j++ {
+				x.Set(i, j, x.At(i, j)*scale)
+			}
+		}
+		// Column scaling.
+		eg = x.Egress()
+		for j := 0; j < n; j++ {
+			if eg[j] == 0 {
+				continue
+			}
+			scale := colTargets[j] / eg[j]
+			for i := 0; i < n; i++ {
+				x.Set(i, j, x.At(i, j)*scale)
+			}
+		}
+		// Convergence check on row sums (columns were just enforced).
+		ing = x.Ingress()
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			den := math.Max(rowTargets[i], 1)
+			if d := math.Abs(ing[i]-rowTargets[i]) / den; d > worst {
+				worst = d
+			}
+		}
+		if worst <= tol {
+			return iter, nil
+		}
+	}
+	return maxIter, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape reports a reproduction shape-target violation.
+var ErrShape = errors.New("experiments: shape target violated")
+
+// Check validates a figure result against the DESIGN.md §4 shape
+// targets: the qualitative claims (who wins, orderings, bands) that the
+// reproduction must deliver regardless of the synthetic substrate's
+// absolute numbers. It returns nil when all targets hold.
+//
+// Checks are deliberately generous at reduced scales — they fire on
+// inversions of the paper's conclusions, not on band misses.
+func Check(r *Result) error {
+	switch r.ID {
+	case "fig2":
+		// The worked example must show strong conditional dependence.
+		if r.Summary["max_abs_deviation_from_gravity"] < 0.2 {
+			return fmt.Errorf("%w: fig2 deviation %.3f < 0.2",
+				ErrShape, r.Summary["max_abs_deviation_from_gravity"])
+		}
+	case "fig3":
+		g, t := r.Summary["mean_improvement_geant"], r.Summary["mean_improvement_totem"]
+		if g <= 0 {
+			return fmt.Errorf("%w: fig3 geant improvement %.2f%% <= 0", ErrShape, g)
+		}
+		if g <= t {
+			return fmt.Errorf("%w: fig3 geant %.2f%% should exceed totem %.2f%%", ErrShape, g, t)
+		}
+	case "fig4":
+		for _, k := range []string{"mean_f_ab", "mean_f_ba"} {
+			if v := r.Summary[k]; v < 0.1 || v > 0.4 {
+				return fmt.Errorf("%w: fig4 %s = %.3f outside [0.1, 0.4]", ErrShape, k, v)
+			}
+		}
+		if d := math.Abs(r.Summary["mean_f_ab"] - r.Summary["mean_f_ba"]); d > 0.1 {
+			return fmt.Errorf("%w: fig4 directional gap %.3f > 0.1", ErrShape, d)
+		}
+		if u := r.Summary["unknown_fraction"]; u > 0.2 {
+			return fmt.Errorf("%w: fig4 unknown fraction %.3f > 0.2", ErrShape, u)
+		}
+	case "fig5":
+		if s := r.Summary["spread"]; s > 0.1 {
+			return fmt.Errorf("%w: fig5 weekly f spread %.3f > 0.1", ErrShape, s)
+		}
+	case "fig6":
+		for _, k := range []string{"mean_week_to_week_corr_geant", "mean_week_to_week_corr_totem"} {
+			if v := r.Summary[k]; v < 0.9 {
+				return fmt.Errorf("%w: fig6 %s = %.3f < 0.9", ErrShape, k, v)
+			}
+		}
+	case "fig7":
+		for _, lbl := range []string{"geant", "totem"} {
+			if r.Summary["ks_lognormal_"+lbl] >= r.Summary["ks_exponential_"+lbl] {
+				return fmt.Errorf("%w: fig7 %s lognormal should beat exponential", ErrShape, lbl)
+			}
+		}
+	case "fig8":
+		if v := r.Summary["spearman_above_median_geant"]; v > 0.95 {
+			return fmt.Errorf("%w: fig8 above-median correlation %.3f ~ perfect", ErrShape, v)
+		}
+	case "fig9":
+		if v := r.Summary["diurnal_energy_geant_largest"]; v < 0.2 {
+			return fmt.Errorf("%w: fig9 largest-node diurnal energy %.3f < 0.2", ErrShape, v)
+		}
+	case "fig10":
+		if g := r.Summary["error_growth_0_to_0.3"]; g <= 0 {
+			return fmt.Errorf("%w: fig10 simplified-model error must grow (got %.4f)", ErrShape, g)
+		}
+		if r.Summary["general_fit_error_asym_0.3"] >= r.Summary["fit_error_asym_0.3"] {
+			return fmt.Errorf("%w: fig10 general model should beat simplified at high asymmetry", ErrShape)
+		}
+	case "fig11", "fig12":
+		for _, lbl := range []string{"geant", "totem"} {
+			if v := r.Summary["mean_improvement_"+lbl]; v <= 0 {
+				return fmt.Errorf("%w: %s %s improvement %.2f%% <= 0", ErrShape, r.ID, lbl, v)
+			}
+		}
+	case "fig13":
+		// Weakest prior: require non-negative on geant, near-zero or
+		// better on totem.
+		if v := r.Summary["mean_improvement_geant"]; v <= 0 {
+			return fmt.Errorf("%w: fig13 geant improvement %.2f%% <= 0", ErrShape, v)
+		}
+		if v := r.Summary["mean_improvement_totem"]; v < -3 {
+			return fmt.Errorf("%w: fig13 totem improvement %.2f%% < -3", ErrShape, v)
+		}
+	default:
+		return fmt.Errorf("%w: unknown figure %q", ErrShape, r.ID)
+	}
+	return nil
+}
+
+// CheckAll runs every figure and validates all shape targets, returning
+// the first violation.
+func CheckAll(w *World) error {
+	for _, runner := range All() {
+		res, err := runner.Run(w)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", runner.ID, err)
+		}
+		if err := Check(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

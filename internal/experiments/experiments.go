@@ -1,0 +1,253 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// on the synthetic substrates (see DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results). Each FigNN
+// function returns a structured Result that the CLI and the benchmark
+// harness print or assert on.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ictm/internal/core"
+	"ictm/internal/estimation"
+	"ictm/internal/fit"
+	"ictm/internal/routing"
+	"ictm/internal/synth"
+	"ictm/internal/tm"
+	"ictm/internal/topology"
+)
+
+// ErrConfig reports invalid experiment configuration.
+var ErrConfig = errors.New("experiments: invalid config")
+
+// Config scales the experiments. Scale 1.0 is full paper scale (2016
+// five-minute bins per week for the Géant-like data); smaller values
+// shrink the bins-per-week proportionally for quick runs, never below
+// two weeks of 7 bins/day.
+type Config struct {
+	Scale float64
+}
+
+// Default returns cfg with zero fields filled.
+func (c Config) Default() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Scale > 1 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Series is one plotted line: X positions and Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is a regenerated figure.
+type Result struct {
+	ID      string
+	Title   string
+	Series  []Series
+	Summary map[string]float64
+	Notes   string
+}
+
+// datasetT abbreviates the dataset type in per-figure loop tables.
+type datasetT = synth.Dataset
+
+// World lazily generates and caches datasets, weekly fits, topologies
+// and routing matrices shared by the figures. It is not safe for
+// concurrent use; each benchmark/CLI run owns one.
+type World struct {
+	cfg      Config
+	datasets map[string]*synth.Dataset
+	weekFits map[string]*fit.Result
+	routes   map[string]*routing.Matrix
+	solvers  map[string]*estimation.Solver
+	gravErrs map[string][]float64
+}
+
+// NewWorld returns an empty cache for the configuration.
+func NewWorld(cfg Config) *World {
+	return &World{
+		cfg:      cfg.Default(),
+		datasets: make(map[string]*synth.Dataset),
+		weekFits: make(map[string]*fit.Result),
+		routes:   make(map[string]*routing.Matrix),
+		solvers:  make(map[string]*estimation.Solver),
+		gravErrs: make(map[string][]float64),
+	}
+}
+
+// GravityEstimationErrors returns cached per-bin errors of the
+// gravity-prior estimation pipeline for one week of a dataset.
+func (w *World) GravityEstimationErrors(d *synth.Dataset, week int) ([]float64, error) {
+	key := fmt.Sprintf("%s/w%d", d.Scenario.Name, week)
+	if e, ok := w.gravErrs[key]; ok {
+		return e, nil
+	}
+	solver, err := w.Solver(d)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := d.Week(week)
+	if err != nil {
+		return nil, err
+	}
+	_, errs, err := estimation.RunWithSolver(solver, truth, estimation.GravityPrior{}, estimation.Options{})
+	if err != nil {
+		return nil, err
+	}
+	w.gravErrs[key] = errs
+	return errs, nil
+}
+
+// scaledScenario shrinks a preset's bins-per-week by the configured
+// scale, keeping whole days (multiples of 7 bins) so the weekend logic
+// stays meaningful.
+func (w *World) scaledScenario(sc synth.Scenario) synth.Scenario {
+	bpw := int(float64(sc.BinsPerWeek) * w.cfg.Scale)
+	perDay := bpw / 7
+	// At least 4 bins per day so one diurnal harmonic stays below the
+	// Nyquist bound in the Fig. 9 analysis.
+	if perDay < 4 {
+		perDay = 4
+	}
+	sc.BinsPerWeek = perDay * 7
+	return sc
+}
+
+// Geant returns the (scaled) Géant-like dataset.
+func (w *World) Geant() (*synth.Dataset, error) { return w.dataset(synth.GeantLike()) }
+
+// Totem returns the (scaled) Totem-like dataset.
+func (w *World) Totem() (*synth.Dataset, error) { return w.dataset(synth.TotemLike()) }
+
+func (w *World) dataset(sc synth.Scenario) (*synth.Dataset, error) {
+	sc = w.scaledScenario(sc)
+	if d, ok := w.datasets[sc.Name]; ok {
+		return d, nil
+	}
+	d, err := synth.Generate(sc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", sc.Name, err)
+	}
+	w.datasets[sc.Name] = d
+	return d, nil
+}
+
+// WeekFit returns the cached stable-fP fit of one week of a dataset.
+func (w *World) WeekFit(d *synth.Dataset, week int) (*fit.Result, error) {
+	key := fmt.Sprintf("%s/w%d", d.Scenario.Name, week)
+	if r, ok := w.weekFits[key]; ok {
+		return r, nil
+	}
+	series, err := d.Week(week)
+	if err != nil {
+		return nil, err
+	}
+	r, err := fit.StableFP(series, fit.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fit %s: %w", key, err)
+	}
+	w.weekFits[key] = r
+	return r, nil
+}
+
+// Routing returns a cached routing matrix for a scenario-sized Waxman
+// topology (the synthetic stand-in for the Géant/Totem backbones).
+func (w *World) Routing(d *synth.Dataset) (*routing.Matrix, error) {
+	key := d.Scenario.Name
+	if rm, ok := w.routes[key]; ok {
+		return rm, nil
+	}
+	g, err := topology.Waxman(d.Scenario.N, 0.6, 0.4, d.Scenario.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	w.routes[key] = rm
+	return rm, nil
+}
+
+// Solver returns a cached tomogravity solver (routing-matrix SVD) for a
+// scenario, shared by every estimation figure.
+func (w *World) Solver(d *synth.Dataset) (*estimation.Solver, error) {
+	key := d.Scenario.Name
+	if s, ok := w.solvers[key]; ok {
+		return s, nil
+	}
+	rm, err := w.Routing(d)
+	if err != nil {
+		return nil, err
+	}
+	s, err := estimation.NewSolver(rm)
+	if err != nil {
+		return nil, err
+	}
+	w.solvers[key] = s
+	return s, nil
+}
+
+// meanOf returns the arithmetic mean of xs (0 for empty).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// indexSeries wraps ys as a Series with X = 0..len-1.
+func indexSeries(name string, ys []float64) Series {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Series{Name: name, X: xs, Y: ys}
+}
+
+// improvementSeries computes per-bin percentage improvement of model
+// errors over gravity errors for a fitted week.
+func improvementSeries(series *tm.Series, res *fit.Result) ([]float64, error) {
+	icErrs, err := fit.RelL2PerBin(res, series)
+	if err != nil {
+		return nil, err
+	}
+	gravErrs, err := gravityErrors(series)
+	if err != nil {
+		return nil, err
+	}
+	return tm.ImprovementSeries(gravErrs, icErrs)
+}
+
+// extremeNodes returns the indices of the largest, median and smallest
+// entries of vals (the paper's Fig. 9 node selection).
+func extremeNodes(vals []float64) (largest, median, smallest int) {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx[0], idx[len(idx)/2], idx[len(idx)-1]
+}
+
+// binParamsActivity extracts node i's fitted activity time series.
+func binParamsActivity(sp *core.SeriesParams, i int) []float64 {
+	out := make([]float64, sp.T)
+	for t := 0; t < sp.T; t++ {
+		out[t] = sp.Activity[t][i]
+	}
+	return out
+}

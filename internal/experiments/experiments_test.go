@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ictm/internal/synth"
+)
+
+// testWorld returns a small-scale world shared within one test.
+func testWorld() *World {
+	return NewWorld(Config{Scale: 0.035}) // ~70 bins/week geant, ~21 totem
+}
+
+func TestConfigDefault(t *testing.T) {
+	c := Config{}.Default()
+	if c.Scale != 1 {
+		t.Errorf("default scale = %g", c.Scale)
+	}
+	if c := (Config{Scale: 3}).Default(); c.Scale != 1 {
+		t.Errorf("scale must clamp to 1, got %g", c.Scale)
+	}
+}
+
+func TestScaledScenarioKeepsWholeDays(t *testing.T) {
+	w := testWorld()
+	sc := w.scaledScenario(synth.GeantLike())
+	if sc.BinsPerWeek%7 != 0 {
+		t.Errorf("bins per week %d not a multiple of 7", sc.BinsPerWeek)
+	}
+	if sc.BinsPerWeek < 14 {
+		t.Errorf("bins per week %d too small", sc.BinsPerWeek)
+	}
+}
+
+func TestFig2ReproducesPaperNumbers(t *testing.T) {
+	res, err := Fig2(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"P[E=A|I=A]": 200.0 / 403,
+		"P[E=A|I=B]": 102.0 / 109,
+		"P[E=A|I=C]": 101.0 / 106,
+		"P[E=A]":     403.0 / 618,
+	}
+	for k, want := range checks {
+		if got := res.Summary[k]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+	if res.Summary["max_abs_deviation_from_gravity"] < 0.2 {
+		t.Error("example should deviate strongly from gravity")
+	}
+}
+
+func TestFig3ICBeatsGravity(t *testing.T) {
+	w := testWorld()
+	res, err := Fig3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Summary["mean_improvement_geant"]
+	to := res.Summary["mean_improvement_totem"]
+	if g <= 0 {
+		t.Errorf("geant mean improvement = %g, want > 0", g)
+	}
+	if to <= -2 {
+		t.Errorf("totem mean improvement = %g, want not clearly negative", to)
+	}
+	// The paper's ordering: geant improvements exceed totem's.
+	if g <= to {
+		t.Errorf("geant improvement %g should exceed totem %g", g, to)
+	}
+	// Fitted f should be near the generating value.
+	if f := res.Summary["fitted_f_geant"]; math.Abs(f-0.25) > 0.08 {
+		t.Errorf("fitted geant f = %g, want ~0.25", f)
+	}
+}
+
+func TestFig4Band(t *testing.T) {
+	res, err := Fig4(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"mean_f_ab", "mean_f_ba"} {
+		if v := res.Summary[k]; v < 0.1 || v > 0.4 {
+			t.Errorf("%s = %g outside plausible band", k, v)
+		}
+	}
+	if u := res.Summary["unknown_fraction"]; u < 0 || u > 0.2 {
+		t.Errorf("unknown fraction = %g", u)
+	}
+	if math.Abs(res.Summary["mean_f_ab"]-res.Summary["mean_f_ba"]) > 0.1 {
+		t.Error("directional estimates should be close (spatial stability)")
+	}
+}
+
+func TestFig5FStableAcrossWeeks(t *testing.T) {
+	res, err := Fig5(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary["spread"] > 0.1 {
+		t.Errorf("weekly f spread = %g, want < 0.1", res.Summary["spread"])
+	}
+	if math.Abs(res.Summary["mean_f"]-res.Summary["true_f"]) > 0.08 {
+		t.Errorf("mean fitted f %g vs true %g", res.Summary["mean_f"], res.Summary["true_f"])
+	}
+}
+
+func TestFig6PrefsStableAcrossWeeks(t *testing.T) {
+	res, err := Fig6(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"mean_week_to_week_corr_geant", "mean_week_to_week_corr_totem"} {
+		if v := res.Summary[k]; v < 0.9 {
+			t.Errorf("%s = %g, want >= 0.9 (the paper's stability claim)", k, v)
+		}
+	}
+}
+
+func TestFig7LognormalBeatsExponential(t *testing.T) {
+	res, err := Fig7(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lbl := range []string{"geant", "totem"} {
+		if res.Summary["ks_lognormal_"+lbl] >= res.Summary["ks_exponential_"+lbl] {
+			t.Errorf("%s: lognormal KS %g >= exponential %g", lbl,
+				res.Summary["ks_lognormal_"+lbl], res.Summary["ks_exponential_"+lbl])
+		}
+	}
+}
+
+func TestFig8PreferenceNotJustVolume(t *testing.T) {
+	res, err := Fig8(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Among above-median nodes correlation should be visibly weaker than
+	// perfect; the paper reports "little correlation".
+	for _, lbl := range []string{"geant", "totem"} {
+		if v := res.Summary["spearman_above_median_"+lbl]; v > 0.95 {
+			t.Errorf("%s: above-median Spearman = %g; preference should not be pure volume", lbl, v)
+		}
+	}
+}
+
+func TestFig9DiurnalStructure(t *testing.T) {
+	res, err := Fig9(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Summary["diurnal_energy_geant_largest"]; v < 0.25 {
+		t.Errorf("largest-node diurnal energy = %g, want >= 0.25", v)
+	}
+}
+
+func TestFig10AsymmetryDegradesFit(t *testing.T) {
+	res, err := Fig10(testWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary["error_growth_0_to_0.3"] <= 0 {
+		t.Errorf("fit error must grow with asymmetry, growth = %g",
+			res.Summary["error_growth_0_to_0.3"])
+	}
+	// The general model must largely absorb the asymmetry: its error
+	// growth should be well below the simplified model's.
+	if g, s := res.Summary["general_error_growth_0_to_0.3"], res.Summary["error_growth_0_to_0.3"]; g > s/2 {
+		t.Errorf("general-model growth %g should be < half of simplified %g", g, s)
+	}
+	// At high asymmetry the general fit must beat the simplified fit.
+	if res.Summary["general_fit_error_asym_0.3"] >= res.Summary["fit_error_asym_0.3"] {
+		t.Errorf("general %g should beat simplified %g at asymmetry 0.3",
+			res.Summary["general_fit_error_asym_0.3"], res.Summary["fit_error_asym_0.3"])
+	}
+}
+
+func TestEstimationFigures(t *testing.T) {
+	w := testWorld()
+	r11, err := Fig11(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := Fig12(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r13, err := Fig13(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range []struct {
+		res *Result
+		lbl string
+	}{
+		{r11, "fig11"}, {r12, "fig12"}, {r13, "fig13"},
+	} {
+		for _, ds := range []string{"geant", "totem"} {
+			v, ok := rc.res.Summary["mean_improvement_"+ds]
+			if !ok {
+				t.Fatalf("%s missing %s summary", rc.lbl, ds)
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("%s %s improvement is NaN", rc.lbl, ds)
+			}
+		}
+	}
+	// Information ordering on the geant-like data: more side information
+	// must not be worse (small slack for noise).
+	g11 := r11.Summary["mean_improvement_geant"]
+	g12 := r12.Summary["mean_improvement_geant"]
+	g13 := r13.Summary["mean_improvement_geant"]
+	if g11 <= 0 {
+		t.Errorf("fig11 geant improvement = %g, want > 0", g11)
+	}
+	if g12 <= 0 {
+		t.Errorf("fig12 geant improvement = %g, want > 0", g12)
+	}
+	if g13 < -3 {
+		t.Errorf("fig13 geant improvement = %g, want >= ~0", g13)
+	}
+	if g12 > g11+5 {
+		t.Errorf("fig12 (%g) should not dominate fig11 (%g)", g12, g11)
+	}
+	if g13 > g12+5 {
+		t.Errorf("fig13 (%g) should not dominate fig12 (%g)", g13, g12)
+	}
+}
+
+func TestRunAllAndPrinting(t *testing.T) {
+	w := testWorld()
+	var buf bytes.Buffer
+	results, err := RunAll(w, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("results = %d, want %d", len(results), len(All()))
+	}
+	out := buf.String()
+	for _, r := range All() {
+		if !strings.Contains(out, "== "+r.ID) {
+			t.Errorf("output missing %s", r.ID)
+		}
+	}
+	// CSV dump of one figure.
+	var csv bytes.Buffer
+	if err := results[0].WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "fig2,") {
+		t.Errorf("csv output malformed: %q", csv.String()[:20])
+	}
+	// Verbose print exercises the point dump.
+	var verbose bytes.Buffer
+	results[0].Print(&verbose, true)
+	if !strings.Contains(verbose.String(), "series") {
+		t.Error("verbose print missing series dump")
+	}
+}
+
+func TestCheckAllShapeTargets(t *testing.T) {
+	if err := CheckAll(testWorld()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsViolations(t *testing.T) {
+	bad := &Result{ID: "fig3", Summary: map[string]float64{
+		"mean_improvement_geant": -5,
+		"mean_improvement_totem": 2,
+	}}
+	if err := Check(bad); !errors.Is(err, ErrShape) {
+		t.Errorf("negative geant improvement must violate: %v", err)
+	}
+	inverted := &Result{ID: "fig3", Summary: map[string]float64{
+		"mean_improvement_geant": 3,
+		"mean_improvement_totem": 9,
+	}}
+	if err := Check(inverted); !errors.Is(err, ErrShape) {
+		t.Errorf("geant<totem inversion must violate: %v", err)
+	}
+	if err := Check(&Result{ID: "nope"}); !errors.Is(err, ErrShape) {
+		t.Errorf("unknown figure must violate: %v", err)
+	}
+}

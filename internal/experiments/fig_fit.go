@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"math"
+
+	"ictm/internal/core"
+	"ictm/internal/gravity"
+	"ictm/internal/stats"
+	"ictm/internal/synth"
+	"ictm/internal/tm"
+)
+
+// gravityErrors returns per-bin RelL2 of the gravity self-estimate.
+func gravityErrors(s *tm.Series) ([]float64, error) {
+	est, err := gravity.EstimateSeries(s)
+	if err != nil {
+		return nil, err
+	}
+	return tm.RelL2Series(s, est)
+}
+
+// Fig2 reproduces the worked example of Figure 2: the three-node IC
+// network where connection-level independence produces strong
+// packet-level dependence. The series list P[E=j | I=i] for each origin
+// against the gravity prediction P[E=j].
+func Fig2(_ *World) (*Result, error) {
+	_, x := core.Fig2Example()
+	n := x.N()
+	res := &Result{
+		ID:      "fig2",
+		Title:   "IC example: conditional egress probabilities vs gravity",
+		Summary: map[string]float64{},
+		Notes: "Under the gravity model every row of P[E|I] would equal the " +
+			"marginal P[E]; the IC example violates this by a wide margin.",
+	}
+	total := x.Total()
+	marginal := make([]float64, n)
+	eg := x.Egress()
+	for j := 0; j < n; j++ {
+		marginal[j] = eg[j] / total
+	}
+	res.Series = append(res.Series, indexSeries("gravity P[E=j]", marginal))
+	var maxDev float64
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = core.ConditionalEgressProb(x, i, j)
+			if d := math.Abs(row[j] - marginal[j]); d > maxDev {
+				maxDev = d
+			}
+		}
+		res.Series = append(res.Series, indexSeries("P[E=j | I="+string(rune('A'+i))+"]", row))
+	}
+	res.Summary["max_abs_deviation_from_gravity"] = maxDev
+	res.Summary["P[E=A|I=A]"] = core.ConditionalEgressProb(x, 0, 0)
+	res.Summary["P[E=A|I=B]"] = core.ConditionalEgressProb(x, 1, 0)
+	res.Summary["P[E=A|I=C]"] = core.ConditionalEgressProb(x, 2, 0)
+	res.Summary["P[E=A]"] = marginal[0]
+	return res, nil
+}
+
+// Fig3 reproduces Figure 3: per-bin percentage improvement in temporal
+// RelL2 of the stable-fP IC fit over the gravity model, for one week of
+// the Géant-like and Totem-like data. Paper: ~20-25% (Géant), ~6-8%
+// (Totem).
+func Fig3(w *World) (*Result, error) {
+	res := &Result{
+		ID:      "fig3",
+		Title:   "Temporal % improvement of stable-fP fit over gravity",
+		Summary: map[string]float64{},
+	}
+	for _, entry := range []struct {
+		label string
+		get   func() (*synth.Dataset, error)
+	}{
+		{"geant", w.Geant},
+		{"totem", w.Totem},
+	} {
+		d, err := entry.get()
+		if err != nil {
+			return nil, err
+		}
+		week, err := d.Week(0)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := w.WeekFit(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		imp, err := improvementSeries(week, fr)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, indexSeries(entry.label+" %improvement", imp))
+		res.Summary["mean_improvement_"+entry.label] = meanOf(imp)
+		res.Summary["fitted_f_"+entry.label] = fr.Params.F
+	}
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: the fitted f of consecutive weeks of the
+// Totem-like data. Paper: values near 0.2, very stable across 7 weeks.
+func Fig5(w *World) (*Result, error) {
+	totem, err := w.Totem()
+	if err != nil {
+		return nil, err
+	}
+	weeks := totem.Scenario.Weeks
+	fs := make([]float64, weeks)
+	for k := 0; k < weeks; k++ {
+		fr, err := w.WeekFit(totem, k)
+		if err != nil {
+			return nil, err
+		}
+		fs[k] = fr.Params.F
+	}
+	mn, _ := stats.Min(fs)
+	mx, _ := stats.Max(fs)
+	return &Result{
+		ID:     "fig5",
+		Title:  "Fitted f over consecutive weeks (Totem-like)",
+		Series: []Series{indexSeries("optimal f per week", fs)},
+		Summary: map[string]float64{
+			"mean_f": meanOf(fs),
+			"min_f":  mn,
+			"max_f":  mx,
+			"spread": mx - mn,
+			"weeks":  float64(weeks),
+			"true_f": totem.Scenario.F,
+		},
+	}, nil
+}
+
+// Fig6 reproduces Figure 6: fitted preference vectors of successive
+// weeks overlaid (Géant-like 3 weeks, Totem-like 7 weeks). The summary
+// quantifies stability as the mean Pearson correlation between
+// consecutive weeks' preference vectors and the worst per-node spread.
+func Fig6(w *World) (*Result, error) {
+	res := &Result{
+		ID:      "fig6",
+		Title:   "Fitted preference values over successive weeks",
+		Summary: map[string]float64{},
+	}
+	for _, entry := range []struct {
+		label string
+		get   func() (*synth.Dataset, error)
+	}{
+		{"geant", w.Geant},
+		{"totem", w.Totem},
+	} {
+		d, err := entry.get()
+		if err != nil {
+			return nil, err
+		}
+		weeks := d.Scenario.Weeks
+		prefs := make([][]float64, weeks)
+		for k := 0; k < weeks; k++ {
+			fr, err := w.WeekFit(d, k)
+			if err != nil {
+				return nil, err
+			}
+			prefs[k] = fr.Params.Pref
+			res.Series = append(res.Series, indexSeries(
+				entry.label+" wk"+string(rune('1'+k)), prefs[k]))
+		}
+		var corrSum float64
+		for k := 1; k < weeks; k++ {
+			r, err := stats.Pearson(prefs[k-1], prefs[k])
+			if err != nil {
+				return nil, err
+			}
+			corrSum += r
+		}
+		res.Summary["mean_week_to_week_corr_"+entry.label] = corrSum / float64(weeks-1)
+		res.Summary["max_node_spread_"+entry.label] = maxNodeSpread(prefs)
+	}
+	return res, nil
+}
+
+// maxNodeSpread returns the largest across-weeks range of any node's
+// preference value.
+func maxNodeSpread(prefs [][]float64) float64 {
+	if len(prefs) == 0 {
+		return 0
+	}
+	n := len(prefs[0])
+	var worst float64
+	for i := 0; i < n; i++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range prefs {
+			if p[i] < lo {
+				lo = p[i]
+			}
+			if p[i] > hi {
+				hi = p[i]
+			}
+		}
+		if s := hi - lo; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}

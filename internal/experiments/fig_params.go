@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ictm/internal/packet"
+	"ictm/internal/stats"
+	"ictm/internal/timeseries"
+)
+
+// Fig4 reproduces Figure 4: the measured forward ratio f̂ per 5-minute
+// bin over a two-hour bidirectional trace, for both link orientations
+// (the Abilene IPLS-CLEV substitute). Paper: f in [0.2, 0.3], stable in
+// time, both directions close, unknown traffic < 20%.
+func Fig4(w *World) (*Result, error) {
+	cfg := packet.TraceConfig{
+		Duration:            7200,
+		ConnRatePerSide:     4 * w.cfg.Scale,
+		PreexistingFraction: 0.06,
+		Seed:                20020814, // D3 collection vintage
+	}
+	if cfg.ConnRatePerSide < 0.5 {
+		cfg.ConnRatePerSide = 0.5
+	}
+	tr, err := packet.GenerateBidirectional(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fAB, fBA, unknown, err := packet.AnalyzeTrace(tr, cfg.Duration, 300)
+	if err != nil {
+		return nil, err
+	}
+	toSeries := func(name string, bins []packet.FBin) Series {
+		xs := make([]float64, 0, len(bins))
+		ys := make([]float64, 0, len(bins))
+		for _, b := range bins {
+			if b.Valid {
+				xs = append(xs, float64(b.Bin))
+				ys = append(ys, b.F)
+			}
+		}
+		return Series{Name: name, X: xs, Y: ys}
+	}
+	sAB := toSeries("f IPLS->CLEV", fAB)
+	sBA := toSeries("f CLEV->IPLS", fBA)
+	trueFA, trueFB := tr.TrueF()
+	res := &Result{
+		ID:     "fig4",
+		Title:  "Measured f per 5-minute bin, both directions",
+		Series: []Series{sAB, sBA},
+		Summary: map[string]float64{
+			"mean_f_ab":        meanOf(sAB.Y),
+			"mean_f_ba":        meanOf(sBA.Y),
+			"true_f_ab":        trueFA,
+			"true_f_ba":        trueFB,
+			"unknown_fraction": unknown,
+		},
+	}
+	if len(sAB.Y) > 0 {
+		mn, _ := stats.Min(sAB.Y)
+		mx, _ := stats.Max(sAB.Y)
+		res.Summary["min_f_ab"] = mn
+		res.Summary["max_f_ab"] = mx
+	}
+	return res, nil
+}
+
+// Fig7 reproduces Figure 7: the CCDF of fitted preference values with
+// maximum-likelihood exponential and lognormal overlays. Paper: the
+// lognormal (mu ≈ -4.3, sigma ≈ 1.7) tracks the tail far better.
+func Fig7(w *World) (*Result, error) {
+	res := &Result{
+		ID:      "fig7",
+		Title:   "CCDF of fitted preference values vs exponential/lognormal",
+		Summary: map[string]float64{},
+	}
+	for _, entry := range []struct {
+		label string
+		get   func() (*datasetT, error)
+	}{
+		{"geant", w.Geant},
+		{"totem", w.Totem},
+	} {
+		d, err := entry.get()
+		if err != nil {
+			return nil, err
+		}
+		fr, err := w.WeekFit(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		pref := fr.Params.Pref
+		ccdf := stats.CCDF(pref)
+		xs := make([]float64, len(ccdf))
+		ys := make([]float64, len(ccdf))
+		for i, pt := range ccdf {
+			xs[i] = pt.X
+			ys[i] = pt.P
+		}
+		res.Series = append(res.Series, Series{Name: entry.label + " empirical CCDF", X: xs, Y: ys})
+
+		ln, err := stats.FitLogNormal(positive(pref))
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s lognormal: %w", entry.label, err)
+		}
+		ex, err := stats.FitExponential(pref)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s exponential: %w", entry.label, err)
+		}
+		lnY := make([]float64, len(xs))
+		exY := make([]float64, len(xs))
+		for i, x := range xs {
+			lnY[i] = ln.CCDF(x)
+			exY[i] = ex.CCDF(x)
+		}
+		res.Series = append(res.Series,
+			Series{Name: entry.label + " lognormal", X: xs, Y: lnY},
+			Series{Name: entry.label + " exponential", X: xs, Y: exY})
+
+		ksLN, err := stats.KSDistance(positive(pref), ln)
+		if err != nil {
+			return nil, err
+		}
+		ksEx, err := stats.KSDistance(pref, ex)
+		if err != nil {
+			return nil, err
+		}
+		res.Summary["ks_lognormal_"+entry.label] = ksLN
+		res.Summary["ks_exponential_"+entry.label] = ksEx
+		res.Summary["lognormal_mu_"+entry.label] = ln.Mu
+		res.Summary["lognormal_sigma_"+entry.label] = ln.Sigma
+	}
+	return res, nil
+}
+
+// positive filters out non-positive entries (fitted preferences can be
+// exactly zero when the active-set clamp binds).
+func positive(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Fig8 reproduces Figure 8: fitted preference values against normalized
+// mean egress shares, ordered by egress. Paper: above the median node
+// there is little correlation — preference is not just traffic volume.
+func Fig8(w *World) (*Result, error) {
+	res := &Result{
+		ID:      "fig8",
+		Title:   "Preference vs normalized mean egress share",
+		Summary: map[string]float64{},
+	}
+	for _, entry := range []struct {
+		label string
+		get   func() (*datasetT, error)
+	}{
+		{"geant", w.Geant},
+		{"totem", w.Totem},
+	} {
+		d, err := entry.get()
+		if err != nil {
+			return nil, err
+		}
+		week, err := d.Week(0)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := w.WeekFit(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		mean, err := week.MeanMatrix()
+		if err != nil {
+			return nil, err
+		}
+		eg := mean.Egress()
+		tot := mean.Total()
+		egShare := make([]float64, len(eg))
+		for i, v := range eg {
+			egShare[i] = v / tot
+		}
+		res.Series = append(res.Series,
+			indexSeries(entry.label+" egress share", egShare),
+			indexSeries(entry.label+" preference", fr.Params.Pref))
+
+		rAll, err := stats.Spearman(egShare, fr.Params.Pref)
+		if err != nil {
+			return nil, err
+		}
+		res.Summary["spearman_all_"+entry.label] = rAll
+
+		// Correlation among above-median-egress nodes only.
+		med, err := stats.Median(egShare)
+		if err != nil {
+			return nil, err
+		}
+		var hiEg, hiPref []float64
+		for i, v := range egShare {
+			if v > med {
+				hiEg = append(hiEg, v)
+				hiPref = append(hiPref, fr.Params.Pref[i])
+			}
+		}
+		rHi, err := stats.Spearman(hiEg, hiPref)
+		if err != nil {
+			return nil, err
+		}
+		res.Summary["spearman_above_median_"+entry.label] = rHi
+	}
+	return res, nil
+}
+
+// Fig9 reproduces Figure 9: fitted activity time series for the
+// largest, median and smallest nodes. Paper: strong daily periodicity,
+// weekend dips, larger nodes smoother.
+func Fig9(w *World) (*Result, error) {
+	res := &Result{
+		ID:      "fig9",
+		Title:   "Fitted activity time series (largest / median / smallest node)",
+		Summary: map[string]float64{},
+	}
+	for _, entry := range []struct {
+		label string
+		get   func() (*datasetT, error)
+	}{
+		{"geant", w.Geant},
+		{"totem", w.Totem},
+	} {
+		d, err := entry.get()
+		if err != nil {
+			return nil, err
+		}
+		fr, err := w.WeekFit(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		sp := fr.Params
+		// Rank nodes by mean fitted activity.
+		meanAct := make([]float64, sp.N)
+		for i := 0; i < sp.N; i++ {
+			meanAct[i] = meanOf(binParamsActivity(sp, i))
+		}
+		largest, median, smallest := extremeNodes(meanAct)
+		binsPerDay := float64(d.Scenario.BinsPerWeek) / 7
+		// Harmonic count adapts to the sampling: k must stay below the
+		// per-period Nyquist bound at reduced experiment scales.
+		harmonics := 2
+		if float64(harmonics) >= binsPerDay/2 {
+			harmonics = 1
+		}
+		for _, sel := range []struct {
+			tag  string
+			node int
+		}{
+			{"largest", largest}, {"median", median}, {"smallest", smallest},
+		} {
+			series := binParamsActivity(sp, sel.node)
+			res.Series = append(res.Series, indexSeries(
+				fmt.Sprintf("%s A(t) %s node %d", entry.label, sel.tag, sel.node), series))
+			frac, err := timeseries.PeriodicEnergyFraction(series, binsPerDay, harmonics)
+			if err != nil {
+				return nil, err
+			}
+			res.Summary[fmt.Sprintf("diurnal_energy_%s_%s", entry.label, sel.tag)] = frac
+		}
+		// Cross-check: the dominant period of the largest node's series,
+		// detected blindly from autocorrelation, should sit near one day.
+		minLag := int(binsPerDay) / 2
+		maxLag := int(binsPerDay) * 2
+		if minLag >= 1 && maxLag < sp.T {
+			series := binParamsActivity(sp, largest)
+			lag, _, err := timeseries.DominantPeriod(series, minLag, maxLag)
+			if err != nil {
+				return nil, err
+			}
+			res.Summary["detected_period_bins_"+entry.label] = float64(lag)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one figure regeneration.
+type Runner struct {
+	ID  string
+	Run func(*World) (*Result, error)
+}
+
+// All returns every figure runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+	}
+}
+
+// RunAll executes every figure against one shared world and writes a
+// report. It stops at the first failure.
+func RunAll(w *World, out io.Writer) ([]*Result, error) {
+	var results []*Result
+	for _, r := range All() {
+		res, err := r.Run(w)
+		if err != nil {
+			return results, fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		results = append(results, res)
+		if out != nil {
+			res.Print(out, false)
+		}
+	}
+	return results, nil
+}
+
+// Print writes the result in a compact human-readable form; verbose
+// additionally dumps every series point (CSV-ish).
+func (r *Result) Print(out io.Writer, verbose bool) {
+	fmt.Fprintf(out, "== %s: %s\n", r.ID, r.Title)
+	keys := make([]string, 0, len(r.Summary))
+	for k := range r.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "   %-42s %12.5g\n", k, r.Summary[k])
+	}
+	for _, s := range r.Series {
+		if verbose {
+			fmt.Fprintf(out, "   series %q (%d points)\n", s.Name, len(s.Y))
+			for i := range s.Y {
+				fmt.Fprintf(out, "     %g,%g\n", s.X[i], s.Y[i])
+			}
+		} else {
+			fmt.Fprintf(out, "   series %-38q %4d points, mean %.5g\n", s.Name, len(s.Y), meanOf(s.Y))
+		}
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(out, "   note: %s\n", r.Notes)
+	}
+}
+
+// WriteCSV dumps every series of the result as CSV rows
+// (figure,series,x,y).
+func (r *Result) WriteCSV(out io.Writer) error {
+	for _, s := range r.Series {
+		for i := range s.Y {
+			if _, err := fmt.Fprintf(out, "%s,%q,%g,%g\n", r.ID, s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

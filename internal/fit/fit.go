@@ -1,0 +1,358 @@
+// Package fit estimates IC-model parameters from observed traffic-matrix
+// series, replacing the MATLAB nonlinear program of Section 5.1 of the
+// paper with an alternating least-squares scheme.
+//
+// The paper minimizes Σ_t RelL2(t) subject to A ≥ 0, P ≥ 0, ΣP = 1. We
+// minimize the closely related Σ_t RelL2(t)² — i.e. a per-bin weighted
+// least squares with weights w_t = 1/‖X(t)‖² — which is scale-free per
+// bin in exactly the same way and separable, enabling closed-form
+// coordinate updates:
+//
+//   - A-step: for fixed (f, P) the model is linear per bin (eq. 7), so
+//     each bin's activities solve an n x n normal system (non-negative
+//     via active-set clamping).
+//   - P-step: for fixed (f, A) the model is linear in the normalized
+//     preferences; one accumulated n x n normal system over all bins
+//     (or per bin for the stable-f/time-varying variants).
+//   - f-step: for fixed (A, P) the model is affine in f; a 1-D weighted
+//     regression with the result clamped into [fMin, 1-fMin].
+//
+// Each step cannot increase the objective, so the iteration descends; it
+// stops on relative improvement below Options.Tol or Options.MaxIter.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ictm/internal/core"
+	"ictm/internal/tm"
+)
+
+// ErrInput reports an unusable input series.
+var ErrInput = errors.New("fit: invalid input")
+
+// Options control the alternating fitter. The zero value selects
+// sensible defaults (see Default).
+type Options struct {
+	// F0 is the initial forward ratio; 0 selects 0.25 (the paper's
+	// typical measured value).
+	F0 float64
+	// FixF pins f at F0 and skips the f-step (used when f is known
+	// from measurement, as in the stable-f estimation scenarios).
+	FixF bool
+	// MaxIter bounds the number of alternating rounds; 0 selects 60.
+	MaxIter int
+	// Tol is the relative objective-improvement stopping threshold;
+	// 0 selects 1e-7.
+	Tol float64
+	// FMin keeps f away from the singular boundaries: f is clamped to
+	// [FMin, 1-FMin]; 0 selects 1e-3.
+	FMin float64
+	// TryMirror guards against the IC model's mirror ambiguity: when
+	// activities are (nearly) time-separable, A_i(t) ≈ c(t)·a_i, the
+	// parameterizations (f, A, P) and (1-f, c·P, a) produce identical
+	// matrices, so f is identifiable only up to f ↔ 1-f. With TryMirror
+	// set, StableFP fits from both F0 and 1-F0 and keeps the lower
+	// objective, tie-breaking toward f < 1/2 (the physically expected
+	// branch for download-dominated traffic). Costs a second fit.
+	TryMirror bool
+}
+
+// Default fills zero fields with defaults and returns the result.
+func (o Options) Default() Options {
+	if o.F0 == 0 {
+		o.F0 = 0.25
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 60
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.FMin == 0 {
+		o.FMin = 1e-3
+	}
+	return o
+}
+
+// Result carries a fitted parameter set plus fit diagnostics.
+type Result struct {
+	Params *core.SeriesParams
+	// Objective is the final Σ_t RelL2(t)² / T (mean squared relative
+	// error).
+	Objective float64
+	// MeanRelL2 is the final mean per-bin RelL2 against the data.
+	MeanRelL2 float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// binWeights returns w_t = 1/||X(t)||²; bins with zero traffic get zero
+// weight (they carry no information and would otherwise divide by zero).
+func binWeights(s *tm.Series) []float64 {
+	w := make([]float64, s.Len())
+	for t := 0; t < s.Len(); t++ {
+		n := s.At(t).Norm()
+		if n > 0 {
+			w[t] = 1 / (n * n)
+		}
+	}
+	return w
+}
+
+// StableFP fits the stable-fP variant (eq. 5): one f, one preference
+// vector, per-bin activities. See Options.TryMirror for the f ↔ 1-f
+// identifiability caveat.
+func StableFP(s *tm.Series, opts Options) (*Result, error) {
+	if s.Len() == 0 || s.N() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	opts = opts.Default()
+	if opts.TryMirror && !opts.FixF {
+		primary := opts
+		primary.TryMirror = false
+		r1, err := StableFP(s, primary)
+		if err != nil {
+			return nil, err
+		}
+		// Refit with f pinned at the mirror of the converged value; the
+		// free f-step can drift across 1/2, so pinning is the only way
+		// to actually explore the other branch.
+		mirror := primary
+		mirror.F0 = 1 - r1.Params.F
+		mirror.FixF = true
+		r2, err := StableFP(s, mirror)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the clearly better branch; on a near-tie prefer f < 1/2.
+		// Objectives are per-bin mean squared *relative* errors, so an
+		// absolute floor marks both branches as exact fits.
+		const (
+			tie      = 1e-3
+			exactFit = 1e-10
+		)
+		tied := (r1.Objective <= exactFit && r2.Objective <= exactFit) ||
+			math.Abs(r1.Objective-r2.Objective) <= tie*math.Max(r1.Objective, r2.Objective)
+		switch {
+		case !tied && r1.Objective < r2.Objective:
+			return r1, nil
+		case !tied && r2.Objective < r1.Objective:
+			return r2, nil
+		case r1.Params.F <= 0.5:
+			return r1, nil
+		default:
+			return r2, nil
+		}
+	}
+	n, T := s.N(), s.Len()
+	w := binWeights(s)
+
+	f := opts.F0
+	pref := initPref(s)
+	act := make([][]float64, T)
+
+	obj := math.Inf(1)
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		// A-step.
+		var err error
+		for t := 0; t < T; t++ {
+			act[t], err = solveActivities(f, pref, s.At(t))
+			if err != nil {
+				return nil, fmt.Errorf("fit: A-step bin %d: %w", t, err)
+			}
+		}
+		// P-step: one accumulated system across all bins. The returned
+		// scale σ is folded into the activities to keep the model value
+		// unchanged by the normalization of the preferences.
+		var sigma float64
+		pref, sigma, err = solvePrefAccumulated(f, act, s, w, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fit: P-step: %w", err)
+		}
+		for t := range act {
+			for i := range act[t] {
+				act[t][i] *= sigma
+			}
+		}
+		// f-step.
+		if !opts.FixF {
+			f = solveF(act, prefPerBinConst(pref, T), s, w, opts.FMin)
+		}
+		newObj := objective(f, prefPerBinConst(pref, T), act, s, w)
+		if !math.IsInf(obj, 1) && obj-newObj <= opts.Tol*math.Max(obj, 1e-30) {
+			obj = newObj
+			break
+		}
+		obj = newObj
+	}
+
+	sp := &core.SeriesParams{
+		Variant:  core.StableFP,
+		N:        n,
+		T:        T,
+		F:        f,
+		Pref:     pref,
+		Activity: act,
+	}
+	mean, err := meanRelL2(sp, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Params: sp, Objective: obj / float64(T), MeanRelL2: mean, Iterations: iters}, nil
+}
+
+// StableF fits the stable-f variant (eq. 4): one f, per-bin preferences
+// and activities.
+func StableF(s *tm.Series, opts Options) (*Result, error) {
+	if s.Len() == 0 || s.N() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	opts = opts.Default()
+	n, T := s.N(), s.Len()
+	w := binWeights(s)
+
+	f := opts.F0
+	prefs := make([][]float64, T)
+	base := initPref(s)
+	for t := range prefs {
+		prefs[t] = append([]float64(nil), base...)
+	}
+	act := make([][]float64, T)
+
+	obj := math.Inf(1)
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		var err error
+		for t := 0; t < T; t++ {
+			act[t], err = solveActivities(f, prefs[t], s.At(t))
+			if err != nil {
+				return nil, fmt.Errorf("fit: A-step bin %d: %w", t, err)
+			}
+			var sigma float64
+			prefs[t], sigma, err = solvePrefOneBin(f, act[t], s.At(t))
+			if err != nil {
+				return nil, fmt.Errorf("fit: P-step bin %d: %w", t, err)
+			}
+			for i := range act[t] {
+				act[t][i] *= sigma
+			}
+		}
+		if !opts.FixF {
+			f = solveF(act, prefs, s, w, opts.FMin)
+		}
+		newObj := objective(f, prefs, act, s, w)
+		if !math.IsInf(obj, 1) && obj-newObj <= opts.Tol*math.Max(obj, 1e-30) {
+			obj = newObj
+			break
+		}
+		obj = newObj
+	}
+
+	sp := &core.SeriesParams{
+		Variant:    core.StableF,
+		N:          n,
+		T:          T,
+		F:          f,
+		PrefPerBin: prefs,
+		Activity:   act,
+	}
+	mean, err := meanRelL2(sp, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Params: sp, Objective: obj / float64(T), MeanRelL2: mean, Iterations: iters}, nil
+}
+
+// TimeVarying fits the fully time-varying variant (eq. 3) by running an
+// independent small alternating fit per bin.
+func TimeVarying(s *tm.Series, opts Options) (*Result, error) {
+	if s.Len() == 0 || s.N() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	opts = opts.Default()
+	n, T := s.N(), s.Len()
+
+	sp := &core.SeriesParams{
+		Variant:    core.TimeVarying,
+		N:          n,
+		T:          T,
+		FPerBin:    make([]float64, T),
+		PrefPerBin: make([][]float64, T),
+		Activity:   make([][]float64, T),
+	}
+	var objSum float64
+	maxIters := 0
+	base := initPref(s)
+	for t := 0; t < T; t++ {
+		f := opts.F0
+		pref := append([]float64(nil), base...)
+		var act []float64
+		x := s.At(t)
+		nrm := x.Norm()
+		var wt float64
+		if nrm > 0 {
+			wt = 1 / (nrm * nrm)
+		}
+		obj := math.Inf(1)
+		for iter := 0; iter < opts.MaxIter; iter++ {
+			if iter+1 > maxIters {
+				maxIters = iter + 1
+			}
+			var err error
+			act, err = solveActivities(f, pref, x)
+			if err != nil {
+				return nil, fmt.Errorf("fit: bin %d A-step: %w", t, err)
+			}
+			var sigma float64
+			pref, sigma, err = solvePrefOneBin(f, act, x)
+			if err != nil {
+				return nil, fmt.Errorf("fit: bin %d P-step: %w", t, err)
+			}
+			for i := range act {
+				act[i] *= sigma
+			}
+			if !opts.FixF {
+				f = solveFOneBin(f, act, pref, x, opts.FMin)
+			}
+			newObj := binSquaredError(f, pref, act, x) * wt
+			if !math.IsInf(obj, 1) && obj-newObj <= opts.Tol*math.Max(obj, 1e-30) {
+				obj = newObj
+				break
+			}
+			obj = newObj
+		}
+		sp.FPerBin[t] = f
+		sp.PrefPerBin[t] = pref
+		sp.Activity[t] = act
+		objSum += obj
+	}
+	mean, err := meanRelL2(sp, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Params: sp, Objective: objSum / float64(T), MeanRelL2: mean, Iterations: maxIters}, nil
+}
+
+// meanRelL2 evaluates the mean per-bin relative L2 error of the fitted
+// parameters against the data.
+func meanRelL2(sp *core.SeriesParams, s *tm.Series) (float64, error) {
+	est, err := sp.EvaluateSeries(s.BinSeconds)
+	if err != nil {
+		return 0, err
+	}
+	errs, err := tm.RelL2Series(s, est)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	return sum / float64(len(errs)), nil
+}

@@ -1,0 +1,380 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"ictm/internal/core"
+	"ictm/internal/gravity"
+	"ictm/internal/rng"
+	"ictm/internal/tm"
+)
+
+// genStableFP synthesizes an exactly stable-fP series plus its params.
+func genStableFP(p *rng.PCG, n, T int, f float64) (*core.SeriesParams, *tm.Series) {
+	sp := &core.SeriesParams{Variant: core.StableFP, N: n, T: T, F: f}
+	sp.Pref = make([]float64, n)
+	for i := range sp.Pref {
+		sp.Pref[i] = p.LogNormal(-4.3, 1.2)
+	}
+	// Normalize so fitted prefs are directly comparable.
+	var sum float64
+	for _, v := range sp.Pref {
+		sum += v
+	}
+	for i := range sp.Pref {
+		sp.Pref[i] /= sum
+	}
+	sp.Activity = make([][]float64, T)
+	for t := range sp.Activity {
+		sp.Activity[t] = make([]float64, n)
+		for i := range sp.Activity[t] {
+			sp.Activity[t][i] = p.LogNormal(9, 0.7)
+		}
+	}
+	s, err := sp.EvaluateSeries(300)
+	if err != nil {
+		panic(err)
+	}
+	return sp, s
+}
+
+// addNoise applies multiplicative lognormal noise to every entry.
+func addNoise(p *rng.PCG, s *tm.Series, sigma float64) *tm.Series {
+	out := tm.NewSeries(s.N(), s.BinSeconds)
+	for t := 0; t < s.Len(); t++ {
+		m := s.At(t).Clone()
+		for k, v := range m.Vec() {
+			m.Vec()[k] = v * p.LogNormal(0, sigma)
+		}
+		_ = out.Append(m)
+	}
+	return out
+}
+
+func TestStableFPRecoversExactModel(t *testing.T) {
+	p := rng.New(60)
+	truth, s := genStableFP(p, 10, 12, 0.25)
+	res, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRelL2 > 1e-4 {
+		t.Errorf("MeanRelL2 = %g on exact data, want ~0", res.MeanRelL2)
+	}
+	if math.Abs(res.Params.F-truth.F) > 0.02 {
+		t.Errorf("fitted f = %g, want %g", res.Params.F, truth.F)
+	}
+	for i := range truth.Pref {
+		if math.Abs(res.Params.Pref[i]-truth.Pref[i]) > 0.02 {
+			t.Errorf("pref[%d] = %g, want %g", i, res.Params.Pref[i], truth.Pref[i])
+		}
+	}
+}
+
+func TestStableFPOnNoisyData(t *testing.T) {
+	p := rng.New(61)
+	truth, clean := genStableFP(p, 12, 20, 0.22)
+	noisy := addNoise(p.Derive("noise"), clean, 0.15)
+	res, err := StableFP(noisy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual should be on the order of the noise level, and f close.
+	if res.MeanRelL2 > 0.3 {
+		t.Errorf("MeanRelL2 = %g, want < 0.3", res.MeanRelL2)
+	}
+	if math.Abs(res.Params.F-truth.F) > 0.08 {
+		t.Errorf("fitted f = %g, want ~%g", res.Params.F, truth.F)
+	}
+}
+
+func TestStableFPBeatsGravityOnICData(t *testing.T) {
+	// The headline comparison (Fig. 3): on data with IC structure plus
+	// noise, the stable-fP fit must beat the gravity estimate even though
+	// gravity has ~2x the degrees of freedom.
+	p := rng.New(62)
+	_, clean := genStableFP(p, 15, 24, 0.25)
+	s := addNoise(p.Derive("noise"), clean, 0.2)
+
+	res, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icErrs, err := RelL2PerBin(res, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grav, err := gravity.EstimateSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gravErrs, err := tm.RelL2Series(s, grav)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var icMean, gravMean float64
+	for i := range icErrs {
+		icMean += icErrs[i]
+		gravMean += gravErrs[i]
+	}
+	if icMean >= gravMean {
+		t.Errorf("IC mean RelL2 %g >= gravity %g; IC should win on IC-structured data",
+			icMean/float64(len(icErrs)), gravMean/float64(len(gravErrs)))
+	}
+}
+
+func TestStableFFitsExactStableFPData(t *testing.T) {
+	// stable-f is a superset of stable-fP, so it must fit at least as well.
+	p := rng.New(63)
+	_, s := genStableFP(p, 8, 6, 0.3)
+	res, err := StableF(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRelL2 > 1e-4 {
+		t.Errorf("stable-f MeanRelL2 = %g on exact stable-fP data", res.MeanRelL2)
+	}
+}
+
+func TestTimeVaryingFitsExactData(t *testing.T) {
+	p := rng.New(64)
+	_, s := genStableFP(p, 8, 4, 0.25)
+	res, err := TimeVarying(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRelL2 > 1e-4 {
+		t.Errorf("time-varying MeanRelL2 = %g on exact data", res.MeanRelL2)
+	}
+	if len(res.Params.FPerBin) != 4 {
+		t.Errorf("FPerBin len = %d", len(res.Params.FPerBin))
+	}
+}
+
+func TestVariantOrderingOnNoisyData(t *testing.T) {
+	// More degrees of freedom must not fit worse:
+	// time-varying <= stable-f <= stable-fP in residual.
+	p := rng.New(65)
+	_, clean := genStableFP(p, 8, 8, 0.25)
+	s := addNoise(p.Derive("noise"), clean, 0.25)
+
+	rFP, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rF, err := StableF(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTV, err := TimeVarying(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = 1.02 // alternating LS is not an exact global optimizer
+	if rF.MeanRelL2 > rFP.MeanRelL2*slack {
+		t.Errorf("stable-f %.5f worse than stable-fP %.5f", rF.MeanRelL2, rFP.MeanRelL2)
+	}
+	if rTV.MeanRelL2 > rF.MeanRelL2*slack {
+		t.Errorf("time-varying %.5f worse than stable-f %.5f", rTV.MeanRelL2, rF.MeanRelL2)
+	}
+}
+
+func TestFixF(t *testing.T) {
+	p := rng.New(66)
+	_, s := genStableFP(p, 8, 6, 0.25)
+	res, err := StableFP(s, Options{F0: 0.4, FixF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.F != 0.4 {
+		t.Errorf("FixF: f = %g, want 0.4", res.Params.F)
+	}
+}
+
+func TestEmptySeriesRejected(t *testing.T) {
+	empty := tm.NewSeries(5, 300)
+	if _, err := StableFP(empty, Options{}); !errors.Is(err, ErrInput) {
+		t.Error("StableFP of empty series must fail")
+	}
+	if _, err := StableF(empty, Options{}); !errors.Is(err, ErrInput) {
+		t.Error("StableF of empty series must fail")
+	}
+	if _, err := TimeVarying(empty, Options{}); !errors.Is(err, ErrInput) {
+		t.Error("TimeVarying of empty series must fail")
+	}
+}
+
+func TestZeroBinHandled(t *testing.T) {
+	// A series containing an all-zero bin must not break the fitter.
+	p := rng.New(67)
+	_, s := genStableFP(p, 6, 5, 0.25)
+	_ = s.Append(tm.New(6)) // zero bin
+	res, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Params.Activity[s.Len()-1] {
+		if a != 0 {
+			t.Errorf("zero bin fitted nonzero activity %g", a)
+		}
+	}
+}
+
+func TestFittedParamsAreValid(t *testing.T) {
+	p := rng.New(68)
+	_, clean := genStableFP(p, 9, 7, 0.25)
+	s := addNoise(p.Derive("noise"), clean, 0.3)
+	res, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Params.Validate(); err != nil {
+		t.Errorf("fitted params invalid: %v", err)
+	}
+	var psum float64
+	for _, v := range res.Params.Pref {
+		if v < 0 {
+			t.Error("negative fitted preference")
+		}
+		psum += v
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		t.Errorf("fitted pref sum = %g, want 1", psum)
+	}
+	for t2 := range res.Params.Activity {
+		for _, a := range res.Params.Activity[t2] {
+			if a < 0 {
+				t.Error("negative fitted activity")
+			}
+		}
+	}
+}
+
+func TestObjectiveMonotoneAcrossIterBudgets(t *testing.T) {
+	// More iterations cannot give a worse objective.
+	p := rng.New(69)
+	_, clean := genStableFP(p, 8, 6, 0.25)
+	s := addNoise(p.Derive("noise"), clean, 0.25)
+	r1, err := StableFP(s, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r50, err := StableFP(s, Options{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r50.Objective > r1.Objective*(1+1e-9) {
+		t.Errorf("objective rose with iterations: %g -> %g", r1.Objective, r50.Objective)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := Options{}.Default()
+	if o.F0 != 0.25 || o.MaxIter != 60 || o.Tol != 1e-7 || o.FMin != 1e-3 {
+		t.Errorf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{F0: 0.4, MaxIter: 5, Tol: 1e-3, FMin: 0.01}.Default()
+	if o2.F0 != 0.4 || o2.MaxIter != 5 || o2.Tol != 1e-3 || o2.FMin != 0.01 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestTryMirrorSelectsPhysicalBranch(t *testing.T) {
+	// Separable activities: A_i(t) = c(t)·a_i makes (f, A, P) and
+	// (1-f, ·, ·) indistinguishable; TryMirror must pick f < 1/2.
+	p := rng.New(70)
+	n, T := 8, 24
+	a := make([]float64, n)
+	pref := make([]float64, n)
+	var psum float64
+	for i := 0; i < n; i++ {
+		a[i] = p.LogNormal(8, 1)
+		pref[i] = p.LogNormal(-2, 1)
+		psum += pref[i]
+	}
+	for i := range pref {
+		pref[i] /= psum
+	}
+	sp := &core.SeriesParams{Variant: core.StableFP, N: n, T: T, F: 0.25, Pref: pref}
+	sp.Activity = make([][]float64, T)
+	for tb := 0; tb < T; tb++ {
+		c := 1 + 0.5*math.Sin(2*math.Pi*float64(tb)/12)
+		sp.Activity[tb] = make([]float64, n)
+		for i := range a {
+			sp.Activity[tb][i] = c * a[i]
+		}
+	}
+	s, err := sp.EvaluateSeries(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StableFP(s, Options{TryMirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.F > 0.5 {
+		t.Errorf("TryMirror kept f = %g, want the f < 1/2 branch", res.Params.F)
+	}
+	if res.MeanRelL2 > 1e-3 {
+		t.Errorf("mirror branch fit residual = %g", res.MeanRelL2)
+	}
+}
+
+func TestTryMirrorKeepsBetterBranchWhenIdentifiable(t *testing.T) {
+	// Non-separable activities: the data identifies f; TryMirror must
+	// not degrade the fit.
+	p := rng.New(71)
+	_, clean := genStableFP(p, 10, 16, 0.3)
+	s := addNoise(p.Derive("noise"), clean, 0.1)
+	plain, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored, err := StableFP(s, Options{TryMirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored.MeanRelL2 > plain.MeanRelL2*1.01 {
+		t.Errorf("TryMirror degraded fit: %g vs %g", mirrored.MeanRelL2, plain.MeanRelL2)
+	}
+	if math.Abs(mirrored.Params.F-0.3) > 0.1 {
+		t.Errorf("TryMirror f = %g, want ~0.3", mirrored.Params.F)
+	}
+}
+
+// Concurrency smoke test: fitting disjoint weeks of a shared read-only
+// series in parallel must be race-free (run with -race in CI).
+func TestParallelWeeklyFits(t *testing.T) {
+	p := rng.New(72)
+	_, s := genStableFP(p, 8, 40, 0.25)
+	weeks := 4
+	binsPer := 10
+	results := make([]*Result, weeks)
+	errs := make([]error, weeks)
+	var wg sync.WaitGroup
+	for k := 0; k < weeks; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sub, err := s.Slice(k*binsPer, (k+1)*binsPer)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			results[k], errs[k] = StableFP(sub, Options{})
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < weeks; k++ {
+		if errs[k] != nil {
+			t.Fatalf("week %d: %v", k, errs[k])
+		}
+		if results[k].MeanRelL2 > 1e-4 {
+			t.Errorf("week %d residual %g", k, results[k].MeanRelL2)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"ictm/internal/core"
+	"ictm/internal/linalg"
+	"ictm/internal/tm"
+)
+
+// GeneralResult carries a fitted general-IC parameter set (eq. 1): a
+// static per-pair forward-ratio matrix, a static preference vector, and
+// per-bin activities.
+type GeneralResult struct {
+	F        [][]float64 // n x n, F[i][j] = f_ij
+	Pref     []float64   // normalized
+	Activity [][]float64 // [t][i]
+	// MeanRelL2 is the mean per-bin relative error against the data.
+	MeanRelL2 float64
+	// Iterations performed by the general refinement stage.
+	Iterations int
+}
+
+// Params assembles the bin-t general parameters.
+func (gr *GeneralResult) Params(t int) (*core.GeneralParams, error) {
+	if t < 0 || t >= len(gr.Activity) {
+		return nil, fmt.Errorf("%w: bin %d of %d", ErrInput, t, len(gr.Activity))
+	}
+	return &core.GeneralParams{F: gr.F, Activity: gr.Activity[t], Pref: gr.Pref}, nil
+}
+
+// General fits the general IC model (eq. 1) with time-stable per-pair
+// forward ratios and preferences. It bootstraps from the simplified
+// stable-fP fit and then alternates three exact least-squares steps:
+//
+//   - pair-step: for each unordered pair {i, j}, (f_ij, f_ji) solve a
+//     2-unknown weighted LS over all bins (the pair's two OD series are
+//     linear in the two ratios);
+//   - A-step: for fixed (F, q) the model is linear per bin with a
+//     bin-independent design matrix, so one n x n normal matrix serves
+//     every bin;
+//   - P-step: linear in q with per-pair coefficients (a generalization
+//     of the simplified P-step).
+//
+// This is the model the paper prescribes for networks with severe
+// routing asymmetry (Section 5.6 / Fig. 10).
+func General(s *tm.Series, opts Options) (*GeneralResult, error) {
+	if s.Len() == 0 || s.N() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	opts = opts.Default()
+	n, T := s.N(), s.Len()
+	w := binWeights(s)
+
+	// Bootstrap (A, q) from the symmetrized series: X + Xᵀ eliminates F
+	// entirely, since forward and reverse shares of each pair sum to the
+	// whole connection volume:
+	//
+	//	S_ij = X_ij + X_ji = A_i·q_j + A_j·q_i
+	//
+	// which is the simplified model with f = 1/2 and doubled activities.
+	// This sidesteps the local minima that a constant-f bootstrap hits
+	// on strongly asymmetric data.
+	sym := tm.NewSeries(n, s.BinSeconds)
+	for t := 0; t < T; t++ {
+		x := s.At(t)
+		m := tm.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, x.At(i, j)+x.At(j, i))
+			}
+		}
+		if err := sym.Append(m); err != nil {
+			return nil, err
+		}
+	}
+	symOpts := opts
+	symOpts.F0 = 0.5
+	symOpts.FixF = true
+	boot, err := StableFP(sym, symOpts)
+	if err != nil {
+		return nil, fmt.Errorf("fit: general bootstrap: %w", err)
+	}
+	pref := append([]float64(nil), boot.Params.Pref...)
+	act := boot.Params.Activity
+	for t := range act {
+		for i := range act[t] {
+			act[t][i] /= 2 // S used doubled activities
+		}
+	}
+	f0 := opts.F0
+	fmat := make([][]float64, n)
+	for i := range fmat {
+		fmat[i] = make([]float64, n)
+		for j := range fmat[i] {
+			fmat[i][j] = f0
+		}
+	}
+
+	obj := math.Inf(1)
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		// pair-step.
+		if !opts.FixF {
+			solvePairF(fmat, act, pref, s, w, opts.FMin)
+		}
+		// A-step.
+		if err := solveGeneralActivities(fmat, pref, s, act); err != nil {
+			return nil, fmt.Errorf("fit: general A-step: %w", err)
+		}
+		// P-step.
+		newPref, sigma, err := solveGeneralPref(fmat, act, s, w)
+		if err != nil {
+			return nil, fmt.Errorf("fit: general P-step: %w", err)
+		}
+		pref = newPref
+		for t := range act {
+			for i := range act[t] {
+				act[t][i] *= sigma
+			}
+		}
+		newObj := generalObjective(fmat, pref, act, s, w)
+		if !math.IsInf(obj, 1) && obj-newObj <= opts.Tol*math.Max(obj, 1e-30) {
+			obj = newObj
+			break
+		}
+		obj = newObj
+	}
+
+	gr := &GeneralResult{F: fmat, Pref: pref, Activity: act, Iterations: iters}
+	var errSum float64
+	for t := 0; t < T; t++ {
+		gp, err := gr.Params(t)
+		if err != nil {
+			return nil, err
+		}
+		est, err := gp.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("fit: general evaluate bin %d: %w", t, err)
+		}
+		e, err := tm.RelL2(s.At(t), est)
+		if err != nil {
+			return nil, err
+		}
+		errSum += e
+	}
+	gr.MeanRelL2 = errSum / float64(T)
+	return gr, nil
+}
+
+// solvePairF updates fmat in place: for each unordered pair {i,j} with
+// i != j, the two OD series are
+//
+//	X_ij(t) = f_ij·a_ij(t) + (1-f_ji)·b_ij(t)
+//	X_ji(t) = f_ji·a_ji(t) + (1-f_ij)·b_ji(t)
+//
+// with a_ij(t) = A_i(t)·q_j, b_ij(t) = A_j(t)·q_i — a 2-unknown weighted
+// least squares solved in closed form and clamped into [fMin, 1-fMin].
+// Diagonal ratios f_ii are unidentifiable (they cancel) and left as is.
+func solvePairF(fmat [][]float64, act [][]float64, pref []float64, s *tm.Series, w []float64, fMin float64) {
+	n := s.N()
+	q := normalize(pref)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Normal equations for (x, y) = (f_ij, f_ji):
+			// X_ij = x·a + (1-y)·b  => X_ij - b = x·a - y·b
+			// X_ji = y·c + (1-x)·d  => X_ji - d = -x·d + y·c
+			var m11, m12, m22, r1, r2 float64
+			for t := 0; t < s.Len(); t++ {
+				if w[t] == 0 {
+					continue
+				}
+				a := act[t][i] * q[j]
+				b := act[t][j] * q[i]
+				c := act[t][j] * q[i]
+				d := act[t][i] * q[j]
+				xt := s.At(t)
+				u1 := xt.At(i, j) - b
+				u2 := xt.At(j, i) - d
+				// Row 1 coefficients: (a, -b); row 2: (-d, c).
+				m11 += w[t] * (a*a + d*d)
+				m12 += w[t] * (-a*b - d*c)
+				m22 += w[t] * (b*b + c*c)
+				r1 += w[t] * (a*u1 - d*u2)
+				r2 += w[t] * (-b*u1 + c*u2)
+			}
+			det := m11*m22 - m12*m12
+			var fij, fji float64
+			if math.Abs(det) < 1e-300 {
+				fij, fji = fmat[i][j], fmat[j][i]
+			} else {
+				fij = (r1*m22 - r2*m12) / det
+				fji = (m11*r2 - m12*r1) / det
+			}
+			fmat[i][j] = clampRange(fij, fMin, 1-fMin)
+			fmat[j][i] = clampRange(fji, fMin, 1-fMin)
+		}
+	}
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// solveGeneralActivities solves each bin's non-negative LS for A with
+// the general design matrix M[(i,j),k] = f_ij·q_j·δ_ki + (1-f_ji)·q_i·δ_kj.
+// M is bin-independent, so its Gram matrix is accumulated once.
+func solveGeneralActivities(fmat [][]float64, pref []float64, s *tm.Series, act [][]float64) error {
+	n := s.N()
+	q := normalize(pref)
+	// Gram matrix MᵀM: each OD row has at most two nonzeros — at
+	// columns i and j with coefficients ci=f_ij·q_j, cj=(1-f_ji)·q_i.
+	gram := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				c := q[i] // f_ii cancels: coefficient is exactly q_i
+				gram.Add(i, i, c*c)
+				continue
+			}
+			ci := fmat[i][j] * q[j]
+			cj := (1 - fmat[j][i]) * q[i]
+			gram.Add(i, i, ci*ci)
+			gram.Add(j, j, cj*cj)
+			gram.Add(i, j, ci*cj)
+			gram.Add(j, i, ci*cj)
+		}
+	}
+	rhs := make([]float64, n)
+	for t := 0; t < s.Len(); t++ {
+		xt := s.At(t)
+		for k := range rhs {
+			rhs[k] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := xt.At(i, j)
+				if v == 0 {
+					continue
+				}
+				if i == j {
+					rhs[i] += q[i] * v
+					continue
+				}
+				rhs[i] += fmat[i][j] * q[j] * v
+				rhs[j] += (1 - fmat[j][i]) * q[i] * v
+			}
+		}
+		a, err := linalg.NNLSClamp(gram, rhs, 0)
+		if err != nil {
+			return err
+		}
+		act[t] = a
+	}
+	return nil
+}
+
+// solveGeneralPref solves the preference vector for fixed (F, A):
+// X_ij = (f_ij·A_i)·q_j + ((1-f_ji)·A_j)·q_i.
+func solveGeneralPref(fmat [][]float64, act [][]float64, s *tm.Series, w []float64) ([]float64, float64, error) {
+	n := s.N()
+	pa := newPrefAccumulator(n)
+	for t := 0; t < s.Len(); t++ {
+		if w[t] == 0 {
+			continue
+		}
+		xt := s.At(t)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				xij := xt.At(i, j)
+				if i == j {
+					c := act[t][i]
+					pa.m.Add(i, i, w[t]*c*c)
+					pa.rhs[i] += w[t] * c * xij
+					continue
+				}
+				cj := fmat[i][j] * act[t][i]       // coefficient of q_j
+				ci := (1 - fmat[j][i]) * act[t][j] // coefficient of q_i
+				pa.m.Add(j, j, w[t]*cj*cj)
+				pa.m.Add(i, i, w[t]*ci*ci)
+				pa.m.Add(i, j, w[t]*ci*cj)
+				pa.m.Add(j, i, w[t]*ci*cj)
+				pa.rhs[j] += w[t] * cj * xij
+				pa.rhs[i] += w[t] * ci * xij
+			}
+		}
+	}
+	return pa.solve()
+}
+
+// generalObjective is the weighted squared error of the general model.
+func generalObjective(fmat [][]float64, pref []float64, act [][]float64, s *tm.Series, w []float64) float64 {
+	n := s.N()
+	q := normalize(pref)
+	var sum float64
+	for t := 0; t < s.Len(); t++ {
+		if w[t] == 0 {
+			continue
+		}
+		xt := s.At(t)
+		var binSum float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var model float64
+				if i == j {
+					model = act[t][i] * q[i]
+				} else {
+					model = fmat[i][j]*act[t][i]*q[j] + (1-fmat[j][i])*act[t][j]*q[i]
+				}
+				d := xt.At(i, j) - model
+				binSum += d * d
+			}
+		}
+		sum += w[t] * binSum
+	}
+	return sum
+}

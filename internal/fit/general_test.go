@@ -1,0 +1,182 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/core"
+	"ictm/internal/rng"
+	"ictm/internal/tm"
+)
+
+// genGeneral synthesizes an exactly general-IC series with asymmetric
+// per-pair forward ratios.
+func genGeneral(p *rng.PCG, n, T int, asym float64) (*core.GeneralParams, [][]float64, *tm.Series) {
+	fmat := make([][]float64, n)
+	for i := range fmat {
+		fmat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			base := 0.25 + 0.05*p.Norm()
+			shift := 0.0
+			if p.Float64() < 0.5 {
+				shift = asym
+			}
+			fmat[i][j] = clampRange(base+shift, 0.02, 0.98)
+			if i != j {
+				fmat[j][i] = clampRange(base-shift, 0.02, 0.98)
+			}
+		}
+	}
+	pref := make([]float64, n)
+	var psum float64
+	for i := range pref {
+		pref[i] = p.LogNormal(-3, 1)
+		psum += pref[i]
+	}
+	for i := range pref {
+		pref[i] /= psum
+	}
+	acts := make([][]float64, T)
+	s := tm.NewSeries(n, 300)
+	var lastParams *core.GeneralParams
+	for t := 0; t < T; t++ {
+		acts[t] = make([]float64, n)
+		for i := range acts[t] {
+			acts[t][i] = p.LogNormal(8, 0.6)
+		}
+		gp := &core.GeneralParams{F: fmat, Activity: acts[t], Pref: pref}
+		x, err := gp.Evaluate()
+		if err != nil {
+			panic(err)
+		}
+		_ = s.Append(x)
+		lastParams = gp
+	}
+	return lastParams, acts, s
+}
+
+func TestGeneralRecoversExactModel(t *testing.T) {
+	p := rng.New(300)
+	truth, _, s := genGeneral(p, 8, 10, 0.2)
+	res, err := General(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRelL2 > 1e-3 {
+		t.Errorf("general fit MeanRelL2 = %g on exact data", res.MeanRelL2)
+	}
+	// Off-diagonal forward ratios must be recovered (diagonal is
+	// unidentifiable and skipped).
+	n := 8
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if d := math.Abs(res.F[i][j] - truth.F[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst f_ij recovery error = %g", worst)
+	}
+}
+
+func TestGeneralBeatsSimplifiedOnAsymmetricData(t *testing.T) {
+	p := rng.New(301)
+	_, _, s := genGeneral(p, 9, 8, 0.25)
+	// Add mild noise so neither model is exact.
+	noisy := addNoise(p.Derive("noise"), s, 0.05)
+
+	simp, err := StableFP(noisy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := General(noisy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.MeanRelL2 >= simp.MeanRelL2 {
+		t.Errorf("general %g should beat simplified %g under asymmetry",
+			gen.MeanRelL2, simp.MeanRelL2)
+	}
+	// The asymmetry must actually be visible in the fitted ratios.
+	asymSeen := 0
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			if math.Abs(gen.F[i][j]-gen.F[j][i]) > 0.2 {
+				asymSeen++
+			}
+		}
+	}
+	if asymSeen == 0 {
+		t.Error("fitted F matrix shows no asymmetry")
+	}
+}
+
+func TestGeneralMatchesSimplifiedOnSymmetricFData(t *testing.T) {
+	// With no per-pair structure, the general fit should not do (much)
+	// better than stable-fP — and must not do worse.
+	p := rng.New(302)
+	_, clean := genStableFP(p, 8, 6, 0.25)
+	s := addNoise(p.Derive("noise"), clean, 0.1)
+	simp, err := StableFP(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := General(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.MeanRelL2 > simp.MeanRelL2*1.02 {
+		t.Errorf("general %g worse than simplified %g on symmetric data",
+			gen.MeanRelL2, simp.MeanRelL2)
+	}
+}
+
+func TestGeneralParamsAccessor(t *testing.T) {
+	p := rng.New(303)
+	_, _, s := genGeneral(p, 6, 3, 0.1)
+	res, err := General(s, Options{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := res.Params(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gp.Validate(); err != nil {
+		t.Errorf("fitted general params invalid: %v", err)
+	}
+	if _, err := res.Params(99); !errors.Is(err, ErrInput) {
+		t.Error("out-of-range bin must fail")
+	}
+}
+
+func TestGeneralEmptySeries(t *testing.T) {
+	if _, err := General(tm.NewSeries(4, 300), Options{}); !errors.Is(err, ErrInput) {
+		t.Error("empty series must fail")
+	}
+}
+
+func TestGeneralFixF(t *testing.T) {
+	// FixF skips the pair-step: all ratios stay at the bootstrap value.
+	p := rng.New(304)
+	_, _, s := genGeneral(p, 6, 4, 0.2)
+	res, err := General(s, Options{F0: 0.3, FixF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j && math.Abs(res.F[i][j]-res.F[0][1]) > 1e-12 {
+				t.Fatalf("FixF should keep a constant F matrix")
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package fit
+
+import (
+	"fmt"
+
+	"ictm/internal/linalg"
+	"ictm/internal/tm"
+)
+
+// initPref seeds the preference vector from the series' normalized mean
+// egress shares. The paper shows preference is *not* simply the egress
+// share (Fig. 8), but it is a serviceable starting point that the P-step
+// immediately refines.
+func initPref(s *tm.Series) []float64 {
+	n := s.N()
+	pref := make([]float64, n)
+	var total float64
+	for t := 0; t < s.Len(); t++ {
+		eg := s.At(t).Egress()
+		for i, v := range eg {
+			pref[i] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		for i := range pref {
+			pref[i] = 1 / float64(n)
+		}
+		return pref
+	}
+	for i := range pref {
+		pref[i] /= total
+	}
+	return pref
+}
+
+// normalize returns v scaled to sum to one (uniform when the sum is 0).
+func normalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(v))
+		}
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// prefPerBinConst expands a single preference vector into a per-bin view
+// (sharing the same backing slice) for the shared objective/f-step code.
+func prefPerBinConst(pref []float64, T int) [][]float64 {
+	out := make([][]float64, T)
+	for t := range out {
+		out[t] = pref
+	}
+	return out
+}
+
+// solveActivities solves the bin's non-negative least-squares problem
+// min ||vec(X) - Φ(f,p)·A||² using the closed-form normal equations
+//
+//	ΦᵀΦ = (f² + (1-f)²)·Σp² · I + 2f(1-f) · p·pᵀ
+//	(Φᵀx)_k = f·Σ_j p_j·X_kj + (1-f)·Σ_i p_i·X_ik
+//
+// (p is the normalized preference vector), so no n² x n matrix is ever
+// materialized.
+func solveActivities(f float64, pref []float64, x *tm.TrafficMatrix) ([]float64, error) {
+	n := x.N()
+	if len(pref) != n {
+		return nil, fmt.Errorf("%w: pref of %d for n=%d", ErrInput, len(pref), n)
+	}
+	p := normalize(pref)
+	g := 1 - f
+	var s2 float64
+	for _, v := range p {
+		s2 += v * v
+	}
+	diag := (f*f + g*g) * s2
+	ata := linalg.NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		row := ata.Row(k)
+		for l := 0; l < n; l++ {
+			row[l] = 2 * f * g * p[k] * p[l]
+		}
+		row[k] += diag
+	}
+	atb := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var fwd, rev float64
+		for j := 0; j < n; j++ {
+			fwd += p[j] * x.At(k, j)
+			rev += p[j] * x.At(j, k)
+		}
+		atb[k] = f*fwd + g*rev
+	}
+	return linalg.NNLSClamp(ata, atb, 0)
+}
+
+// prefAccumulator builds the normal equations of the P-step. The model
+// is linear in the (unnormalized) preference vector q:
+//
+//	X_ij = f·A_i·q_j + (1-f)·A_j·q_i   (i != j)
+//	X_ii = A_i·q_i
+//
+// Each pair contributes to at most two coordinates of the design row, so
+// accumulation is O(n²) per bin.
+type prefAccumulator struct {
+	m   *linalg.Matrix
+	rhs []float64
+}
+
+func newPrefAccumulator(n int) *prefAccumulator {
+	return &prefAccumulator{m: linalg.NewMatrix(n, n), rhs: make([]float64, n)}
+}
+
+func (pa *prefAccumulator) add(f float64, act []float64, x *tm.TrafficMatrix, w float64) {
+	if w == 0 {
+		return
+	}
+	n := x.N()
+	g := 1 - f
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			xij := x.At(i, j)
+			if i == j {
+				c := act[i]
+				pa.m.Add(i, i, w*c*c)
+				pa.rhs[i] += w * c * xij
+				continue
+			}
+			cj := f * act[i] // coefficient of q_j
+			ci := g * act[j] // coefficient of q_i
+			pa.m.Add(j, j, w*cj*cj)
+			pa.m.Add(i, i, w*ci*ci)
+			pa.m.Add(i, j, w*ci*cj)
+			pa.m.Add(j, i, w*ci*cj)
+			pa.rhs[j] += w * cj * xij
+			pa.rhs[i] += w * ci * xij
+		}
+	}
+}
+
+// solve returns the normalized preference vector together with the raw
+// solution's scale σ = Σq. The model X = f·A·qᵀ + (1-f)·q·Aᵀ is invariant
+// under (q, A) -> (q/σ, σ·A), so callers MUST multiply the activities by
+// σ to preserve the least-squares optimum the step just computed —
+// normalizing q alone would silently rescale the model and break the
+// descent property of the alternation.
+func (pa *prefAccumulator) solve() (pref []float64, sigma float64, err error) {
+	q, err := linalg.NNLSClamp(pa.m, pa.rhs, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, v := range q {
+		sigma += v
+	}
+	if sigma <= 0 {
+		return normalize(q), 1, nil
+	}
+	return normalize(q), sigma, nil
+}
+
+// solvePrefAccumulated solves one preference vector against all bins
+// (stable-fP P-step). The optional mask restricts which bins contribute.
+func solvePrefAccumulated(f float64, act [][]float64, s *tm.Series, w []float64, mask []bool) ([]float64, float64, error) {
+	pa := newPrefAccumulator(s.N())
+	for t := 0; t < s.Len(); t++ {
+		if mask != nil && !mask[t] {
+			continue
+		}
+		pa.add(f, act[t], s.At(t), w[t])
+	}
+	return pa.solve()
+}
+
+// solvePrefOneBin solves the P-step for a single bin (stable-f and
+// time-varying variants).
+func solvePrefOneBin(f float64, act []float64, x *tm.TrafficMatrix) ([]float64, float64, error) {
+	pa := newPrefAccumulator(x.N())
+	pa.add(f, act, x, 1)
+	return pa.solve()
+}
+
+// solveF performs the global f-step: with u_ij = A_i·p_j - A_j·p_i and
+// v_ij = A_j·p_i the model is X_ij = f·u_ij + v_ij, so the weighted LS
+// optimum is f* = Σ w·u·(X - v) / Σ w·u². A vanishing denominator (e.g.
+// perfectly symmetric A·p) leaves f at 0.5, the symmetric point.
+func solveF(act [][]float64, prefs [][]float64, s *tm.Series, w []float64, fMin float64) float64 {
+	var num, den float64
+	for t := 0; t < s.Len(); t++ {
+		if w[t] == 0 {
+			continue
+		}
+		accumulateF(&num, &den, act[t], normalize(prefs[t]), s.At(t), w[t])
+	}
+	return clampF(num, den, fMin)
+}
+
+// solveFOneBin performs the f-step for a single bin, keeping the current
+// value when the bin carries no directional information.
+func solveFOneBin(cur float64, act, pref []float64, x *tm.TrafficMatrix, fMin float64) float64 {
+	var num, den float64
+	accumulateF(&num, &den, act, normalize(pref), x, 1)
+	if den == 0 {
+		return cur
+	}
+	return clampF(num, den, fMin)
+}
+
+func accumulateF(num, den *float64, act, p []float64, x *tm.TrafficMatrix, w float64) {
+	n := x.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue // u_ii = 0: no f information on the diagonal
+			}
+			u := act[i]*p[j] - act[j]*p[i]
+			if u == 0 {
+				continue
+			}
+			v := act[j] * p[i]
+			*num += w * u * (x.At(i, j) - v)
+			*den += w * u * u
+		}
+	}
+}
+
+func clampF(num, den, fMin float64) float64 {
+	f := 0.5
+	if den > 0 {
+		f = num / den
+	}
+	if f < fMin {
+		f = fMin
+	}
+	if f > 1-fMin {
+		f = 1 - fMin
+	}
+	return f
+}
+
+// binSquaredError returns ||X - model(f, p, A)||² for one bin.
+func binSquaredError(f float64, pref, act []float64, x *tm.TrafficMatrix) float64 {
+	n := x.N()
+	p := normalize(pref)
+	g := 1 - f
+	var sum float64
+	for i := 0; i < n; i++ {
+		fa := f * act[i]
+		for j := 0; j < n; j++ {
+			d := x.At(i, j) - (fa*p[j] + g*act[j]*p[i])
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// objective returns Σ_t w_t ||X(t) - model||², the weighted LS surrogate
+// for the paper's Σ_t RelL2(t).
+func objective(f float64, prefs, act [][]float64, s *tm.Series, w []float64) float64 {
+	var sum float64
+	for t := 0; t < s.Len(); t++ {
+		if w[t] == 0 {
+			continue
+		}
+		sum += w[t] * binSquaredError(f, prefs[t], act[t], s.At(t))
+	}
+	return sum
+}
+
+// RelL2PerBin evaluates per-bin RelL2 of fitted params against data; a
+// convenience shared by experiments.
+func RelL2PerBin(res *Result, s *tm.Series) ([]float64, error) {
+	est, err := res.Params.EvaluateSeries(s.BinSeconds)
+	if err != nil {
+		return nil, err
+	}
+	return tm.RelL2Series(s, est)
+}

@@ -1,0 +1,48 @@
+package fit
+
+import (
+	"testing"
+
+	"ictm/internal/linalg"
+	"ictm/internal/rng"
+)
+
+// The A-step must exactly recover activities when f and P are exact.
+func TestAStepExactRecovery(t *testing.T) {
+	p := rng.New(200)
+	truth, s := genStableFP(p, 6, 3, 0.25)
+	for tb := 0; tb < 3; tb++ {
+		got, err := solveActivities(truth.F, truth.Pref, s.At(tb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(got, truth.Activity[tb]); d > 1e-6*linalg.Norm2(truth.Activity[tb]) {
+			t.Errorf("bin %d: A-step error %g\n got=%v\nwant=%v", tb, d, got, truth.Activity[tb])
+		}
+	}
+}
+
+// The P-step must recover normalized preferences with exact A, f.
+func TestPStepExactRecovery(t *testing.T) {
+	p := rng.New(201)
+	truth, s := genStableFP(p, 6, 3, 0.25)
+	w := binWeights(s)
+	got, _, err := solvePrefAccumulated(truth.F, truth.Activity, s, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(got, truth.Pref); d > 1e-8 {
+		t.Errorf("P-step error %g\n got=%v\nwant=%v", d, got, truth.Pref)
+	}
+}
+
+// The f-step must recover f with exact A, P.
+func TestFStepExactRecovery(t *testing.T) {
+	p := rng.New(202)
+	truth, s := genStableFP(p, 6, 3, 0.25)
+	w := binWeights(s)
+	got := solveF(truth.Activity, prefPerBinConst(truth.Pref, 3), s, w, 1e-3)
+	if d := got - truth.F; d > 1e-8 || d < -1e-8 {
+		t.Errorf("f-step = %g, want %g", got, truth.F)
+	}
+}

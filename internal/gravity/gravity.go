@@ -1,0 +1,116 @@
+// Package gravity implements the gravity traffic-matrix model, the
+// baseline the paper argues against: it assumes a packet's network
+// ingress and egress are independent, predicting
+//
+//	X̂_ij = X_i* · X_*j / X_**
+//
+// from the node ingress/egress totals. The package also provides the
+// fanout form (per-origin destination shares), used in related work on
+// PoP fanouts.
+package gravity
+
+import (
+	"errors"
+	"fmt"
+
+	"ictm/internal/tm"
+)
+
+// ErrInput reports invalid marginal inputs.
+var ErrInput = errors.New("gravity: invalid input")
+
+// FromMarginals builds the gravity estimate from explicit ingress and
+// egress node totals. The totals should agree in sum (all traffic that
+// enters must leave); the estimate normalizes by the ingress total. A
+// zero grand total yields the zero matrix.
+func FromMarginals(ingress, egress []float64) (*tm.TrafficMatrix, error) {
+	n := len(ingress)
+	if n == 0 || len(egress) != n {
+		return nil, fmt.Errorf("%w: marginals of %d/%d nodes", ErrInput, len(ingress), len(egress))
+	}
+	var total float64
+	for i, v := range ingress {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: ingress[%d] = %g", ErrInput, i, v)
+		}
+		total += v
+	}
+	for i, v := range egress {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: egress[%d] = %g", ErrInput, i, v)
+		}
+	}
+	out := tm.New(n)
+	if total == 0 {
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		fi := ingress[i] / total
+		for j := 0; j < n; j++ {
+			out.Set(i, j, fi*egress[j])
+		}
+	}
+	return out, nil
+}
+
+// Estimate builds the gravity estimate of x from x's own marginals —
+// the standard "how well does gravity explain this matrix" fit.
+func Estimate(x *tm.TrafficMatrix) (*tm.TrafficMatrix, error) {
+	return FromMarginals(x.Ingress(), x.Egress())
+}
+
+// EstimateSeries applies Estimate to each bin of a series.
+func EstimateSeries(s *tm.Series) (*tm.Series, error) {
+	out := tm.NewSeries(s.N(), s.BinSeconds)
+	for t := 0; t < s.Len(); t++ {
+		m, err := Estimate(s.At(t))
+		if err != nil {
+			return nil, fmt.Errorf("gravity: bin %d: %w", t, err)
+		}
+		if err := out.Append(m); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Fanout returns the per-origin destination shares of x:
+// fanout[i][j] = X_ij / X_i*. Rows with zero ingress are uniform
+// (1/n), keeping the result row-stochastic.
+func Fanout(x *tm.TrafficMatrix) [][]float64 {
+	n := x.N()
+	ing := x.Ingress()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		if ing[i] == 0 {
+			for j := range out[i] {
+				out[i][j] = 1 / float64(n)
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			out[i][j] = x.At(i, j) / ing[i]
+		}
+	}
+	return out
+}
+
+// ApplyFanout reconstructs a matrix from per-node ingress totals and a
+// row-stochastic fanout (the choice-model formulation of TM estimation).
+func ApplyFanout(ingress []float64, fanout [][]float64) (*tm.TrafficMatrix, error) {
+	n := len(ingress)
+	if len(fanout) != n {
+		return nil, fmt.Errorf("%w: fanout of %d rows for %d nodes", ErrInput, len(fanout), n)
+	}
+	out := tm.New(n)
+	for i := 0; i < n; i++ {
+		if len(fanout[i]) != n {
+			return nil, fmt.Errorf("%w: fanout row %d has %d entries", ErrInput, i, len(fanout[i]))
+		}
+		for j := 0; j < n; j++ {
+			out.Set(i, j, ingress[i]*fanout[i][j])
+		}
+	}
+	return out, nil
+}

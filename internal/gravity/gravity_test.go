@@ -1,0 +1,215 @@
+package gravity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/core"
+	"ictm/internal/rng"
+	"ictm/internal/tm"
+)
+
+func TestFromMarginalsHandChecked(t *testing.T) {
+	x, err := FromMarginals([]float64{10, 30}, []float64{20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X_00 = 10*20/40 = 5, X_01 = 5, X_10 = 15, X_11 = 15.
+	want := [][]float64{{5, 5}, {15, 15}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(x.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("X[%d][%d] = %g, want %g", i, j, x.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFromMarginalsErrors(t *testing.T) {
+	if _, err := FromMarginals(nil, nil); !errors.Is(err, ErrInput) {
+		t.Error("empty marginals must fail")
+	}
+	if _, err := FromMarginals([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrInput) {
+		t.Error("mismatched marginals must fail")
+	}
+	if _, err := FromMarginals([]float64{-1}, []float64{1}); !errors.Is(err, ErrInput) {
+		t.Error("negative ingress must fail")
+	}
+	if _, err := FromMarginals([]float64{1}, []float64{-1}); !errors.Is(err, ErrInput) {
+		t.Error("negative egress must fail")
+	}
+}
+
+func TestFromMarginalsZeroTotal(t *testing.T) {
+	x, err := FromMarginals([]float64{0, 0}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total() != 0 {
+		t.Error("zero marginals must give zero matrix")
+	}
+}
+
+// Property: the gravity estimate reproduces the input's marginals exactly
+// when the marginals are consistent (sum ingress = sum egress).
+func TestGravityPreservesMarginals(t *testing.T) {
+	p := rng.New(50)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + p.Intn(15)
+		x := tm.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x.Set(i, j, p.LogNormal(5, 1))
+			}
+		}
+		est, err := Estimate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gi, ge := est.Ingress(), est.Egress()
+		xi, xe := x.Ingress(), x.Egress()
+		for i := 0; i < n; i++ {
+			if math.Abs(gi[i]-xi[i]) > 1e-9*(1+xi[i]) {
+				t.Fatalf("trial %d: ingress not preserved at %d", trial, i)
+			}
+			if math.Abs(ge[i]-xe[i]) > 1e-9*(1+xe[i]) {
+				t.Fatalf("trial %d: egress not preserved at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Property: gravity is exact on rank-1 matrices (the gravity family).
+func TestGravityExactOnRank1(t *testing.T) {
+	p := rng.New(51)
+	n := 10
+	x := tm.New(n)
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i] = p.LogNormal(2, 1)
+		v[i] = p.LogNormal(2, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, u[i]*v[j])
+		}
+	}
+	est, err := Estimate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tm.RelL2(x, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Errorf("gravity RelL2 on rank-1 matrix = %g, want ~0", e)
+	}
+}
+
+// The paper's Figure 2 example: gravity misestimates the IC matrix.
+func TestGravityFailsOnFig2(t *testing.T) {
+	_, x := core.Fig2Example()
+	est, err := Estimate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tm.RelL2(x, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.1 {
+		t.Errorf("gravity RelL2 on Fig2 example = %g; expected a poor fit (> 0.1)", e)
+	}
+}
+
+func TestEstimateSeries(t *testing.T) {
+	s := tm.NewSeries(2, 300)
+	m := tm.New(2)
+	m.Set(0, 1, 4)
+	m.Set(1, 0, 4)
+	_ = s.Append(m)
+	est, err := EstimateSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Len() != 1 {
+		t.Fatalf("series len = %d", est.Len())
+	}
+	// Marginals (4,4),(4,4): X̂_ij = 4*4/8 = 2 everywhere.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(est.At(0).At(i, j)-2) > 1e-12 {
+				t.Errorf("estimate[%d][%d] = %g, want 2", i, j, est.At(0).At(i, j))
+			}
+		}
+	}
+}
+
+func TestFanoutRowStochastic(t *testing.T) {
+	p := rng.New(52)
+	n := 6
+	x := tm.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, p.Float64()*10)
+		}
+	}
+	fo := Fanout(x)
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, v := range fo[i] {
+			if v < 0 {
+				t.Fatalf("negative fanout at row %d", i)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("fanout row %d sums to %g", i, s)
+		}
+	}
+}
+
+func TestFanoutZeroRowUniform(t *testing.T) {
+	x := tm.New(3)
+	x.Set(1, 2, 5)
+	fo := Fanout(x)
+	for j := 0; j < 3; j++ {
+		if math.Abs(fo[0][j]-1.0/3) > 1e-12 {
+			t.Errorf("zero-ingress fanout row = %v, want uniform", fo[0])
+		}
+	}
+}
+
+func TestApplyFanoutRoundTrip(t *testing.T) {
+	p := rng.New(53)
+	n := 5
+	x := tm.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, p.Float64()*10+0.1)
+		}
+	}
+	rebuilt, err := ApplyFanout(x.Ingress(), Fanout(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tm.RelL2(x, rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Errorf("fanout roundtrip RelL2 = %g", e)
+	}
+}
+
+func TestApplyFanoutShapeErrors(t *testing.T) {
+	if _, err := ApplyFanout([]float64{1, 2}, [][]float64{{1}}); !errors.Is(err, ErrInput) {
+		t.Error("short fanout must fail")
+	}
+	if _, err := ApplyFanout([]float64{1, 2}, [][]float64{{1, 0}, {1}}); !errors.Is(err, ErrInput) {
+		t.Error("ragged fanout must fail")
+	}
+}

@@ -1,0 +1,333 @@
+// Package linalg provides the dense linear-algebra kernel used throughout
+// the repository: matrices, vectors, Cholesky and QR factorizations, a
+// one-sided Jacobi SVD, Moore-Penrose pseudo-inverses and least-squares
+// solvers.
+//
+// The package is deliberately small and self-contained (standard library
+// only). Matrices are stored row-major in a single backing slice; all
+// dimensions involved in this reproduction are modest (at most a few
+// hundred rows/columns), so clarity is favoured over blocking or SIMD
+// tricks, while still keeping the obvious O(n^3) algorithms cache-friendly
+// by iterating row-major.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned (wrapped) when operand dimensions are incompatible.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use NewMatrix or NewMatrixFromRows
+// to construct one with storage.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// NewMatrix returns a zero-filled r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewMatrixFromRows builds a matrix from a slice of equal-length rows.
+// The data is copied.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Matrix {
+	n := len(d)
+	m := NewMatrix(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice sharing the matrix's backing storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("linalg: SetRow length %d != %d cols", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s, in place, and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// AddM returns m + b as a new matrix.
+func (m *Matrix) AddM(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// SubM returns m - b as a new matrix.
+func (m *Matrix) SubM(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	// i-k-j loop order keeps both inner accesses sequential.
+	for i := 0; i < m.rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out, nil
+}
+
+// TMulVec returns the product of the transpose, mᵀ * x, without forming
+// the transpose.
+func (m *Matrix) TMulVec(x []float64) ([]float64, error) {
+	if m.rows != len(x) {
+		return nil, fmt.Errorf("%w: tmulvec (%dx%d)ᵀ by vector of %d", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out, nil
+}
+
+// AtA returns mᵀ * m computed directly (exploiting symmetry).
+func (m *Matrix) AtA() *Matrix {
+	n := m.cols
+	out := NewMatrix(n, n)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < n; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			orow := out.Row(a)
+			for b := a; b < n; b++ {
+				orow[b] += ra * row[b]
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out.data[b*n+a] = out.data[a*n+b]
+		}
+	}
+	return out
+}
+
+// AAt returns m * mᵀ computed directly (exploiting symmetry).
+func (m *Matrix) AAt() *Matrix {
+	n := m.rows
+	out := NewMatrix(n, n)
+	for a := 0; a < n; a++ {
+		ra := m.Row(a)
+		for b := a; b < n; b++ {
+			v := Dot(ra, m.Row(b))
+			out.data[a*n+b] = v
+			out.data[b*n+a] = v
+		}
+	}
+	return out
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobNorm() float64 {
+	return Norm2(m.data)
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Equal reports whether m and b have identical shape and elements within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxDim = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix %dx%d", m.rows, m.cols)
+	if m.rows > maxDim || m.cols > maxDim {
+		return b.String()
+	}
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("\n  ")
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% .4g ", m.At(i, j))
+		}
+	}
+	return b.String()
+}
+
+// Data returns the backing slice (row-major). Mutations are visible in m.
+func (m *Matrix) Data() []float64 { return m.data }

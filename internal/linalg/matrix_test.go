@@ -1,0 +1,270 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroFilled(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(2, 1); got != 6 {
+		t.Errorf("At(2,1) = %g, want 6", got)
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows: want error, got nil")
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	m, err := NewMatrixFromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("empty matrix shape = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if !id.Equal(d, 0) {
+		t.Error("Identity(3) != Diag(ones)")
+	}
+}
+
+func TestSetGetRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("Set/At roundtrip failed")
+	}
+	m.SetRow(0, []float64{1, 2, 3})
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 7 {
+		t.Errorf("Col(2) = %v, want [3 7]", col)
+	}
+	// Row shares storage.
+	m.Row(0)[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Error("Row must alias backing storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d, want 3x2", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulHandChecked(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewMatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 1e-15) {
+		t.Errorf("Mul = %v, want %v", c, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("2x3 * 2x3: want shape error")
+	}
+}
+
+func TestMulVecAndTMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", y)
+	}
+	z, err := a.TMulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z[0] != 5 || z[1] != 7 || z[2] != 9 {
+		t.Errorf("TMulVec = %v, want [5 7 9]", z)
+	}
+}
+
+func randomMatrix(r *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for i := range a.data {
+		a.data[i] = r.NormFloat64()
+	}
+	return a
+}
+
+// Property: AtA equals explicit Aᵀ·A and AAt equals A·Aᵀ.
+func TestGramMatchesExplicit(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + r.Intn(12)
+		n := 1 + r.Intn(12)
+		a := randomMatrix(r, m, n)
+		want, _ := a.T().Mul(a)
+		if got := a.AtA(); !got.Equal(want, 1e-10) {
+			t.Fatalf("trial %d: AtA mismatch", trial)
+		}
+		want2, _ := a.Mul(a.T())
+		if got := a.AAt(); !got.Equal(want2, 1e-10) {
+			t.Fatalf("trial %d: AAt mismatch", trial)
+		}
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestTransposeOfProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		ab, _ := a.Mul(b)
+		btat, _ := b.T().Mul(a.T())
+		if !ab.T().Equal(btat, 1e-10) {
+			t.Fatalf("trial %d: (AB)ᵀ != BᵀAᵀ", trial)
+		}
+	}
+}
+
+// Property: TMulVec(x) == T().MulVec(x).
+func TestTMulVecMatchesTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		a := randomMatrix(r, m, n)
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got, _ := a.TMulVec(x)
+		want, _ := a.T().MulVec(x)
+		if MaxAbsDiff(got, want) > 1e-10 {
+			t.Fatalf("trial %d: TMulVec mismatch", trial)
+		}
+	}
+}
+
+func TestAddSubScaleClone(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := a.AddM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Errorf("AddM wrong: %v", sum)
+	}
+	diff, err := sum.SubM(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(a, 0) {
+		t.Error("(a+b)-b != a")
+	}
+	c := a.Clone().Scale(2)
+	if a.At(0, 0) != 1 {
+		t.Error("Scale of clone mutated original")
+	}
+	if c.At(0, 0) != 2 {
+		t.Error("Scale failed")
+	}
+}
+
+func TestFrobAndMaxAbs(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{3, 0}, {0, -4}})
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobNorm = %g, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %g, want 4", got)
+	}
+}
+
+func TestStringElision(t *testing.T) {
+	small := Identity(2)
+	if s := small.String(); len(s) == 0 {
+		t.Error("String of small matrix empty")
+	}
+	big := NewMatrix(20, 20)
+	if s := big.String(); len(s) > 40 {
+		t.Errorf("String of big matrix should be elided, got %q", s)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range must panic")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+// quick property: scaling by s multiplies the Frobenius norm by |s|.
+func TestScaleFrobeniusQuick(t *testing.T) {
+	f := func(vals [6]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e6 {
+			return true
+		}
+		m := NewMatrix(2, 3)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+			m.data[i] = v
+		}
+		before := m.FrobNorm()
+		after := m.Clone().Scale(s).FrobNorm()
+		return math.Abs(after-math.Abs(s)*before) <= 1e-6*(1+after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataAliasesStorage(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Data()[3] = 9
+	if m.At(1, 1) != 9 {
+		t.Error("Data must alias the backing storage")
+	}
+}

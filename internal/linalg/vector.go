@@ -1,0 +1,118 @@
+package linalg
+
+import "math"
+
+// Dot returns the dot product of equal-length slices a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow for
+// large magnitudes by scaling.
+func Norm2(v []float64) float64 {
+	var max float64
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		t := x / max
+		s += t * t
+	}
+	return max * math.Sqrt(s)
+}
+
+// Norm1 returns the sum of absolute values of v.
+func Norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies v by s in place and returns v.
+func ScaleVec(s float64, v []float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// SubVec returns a - b as a new slice. It panics on length mismatch.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: SubVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AddVec returns a + b as a new slice. It panics on length mismatch.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: AddVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b. It panics on length mismatch.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: MaxAbsDiff length mismatch")
+	}
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,188 @@
+package netflow
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/rng"
+	"ictm/internal/stats"
+	"ictm/internal/tm"
+)
+
+func flatSeries(n, T int, value float64) *tm.Series {
+	s := tm.NewSeries(n, 300)
+	for t := 0; t < T; t++ {
+		m := tm.New(n)
+		for k := range m.Vec() {
+			m.Vec()[k] = value
+		}
+		_ = s.Append(m)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Rate: 0, AvgPacketBytes: 800},
+		{Rate: 2, AvgPacketBytes: 800},
+		{Rate: 0.001, AvgPacketBytes: 0},
+		{Rate: 0.001, AvgPacketBytes: 800, ConnAlpha: 0.5},
+		{Rate: 0.001, AvgPacketBytes: 800, MeanConnBytes: -1},
+	}
+	for k, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v", k, err)
+		}
+	}
+	good := Config{Rate: 0.001, AvgPacketBytes: 800}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestSampleSeriesUnbiased(t *testing.T) {
+	// Large flows: mean sampled estimate must track the truth closely.
+	truth := flatSeries(4, 50, 8e7) // 100k packets at 800 B => 100 sampled
+	cfg := Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 1}
+	est, err := SampleSeries(truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumTruth, sumEst float64
+	for tb := 0; tb < truth.Len(); tb++ {
+		sumTruth += truth.At(tb).Total()
+		sumEst += est.At(tb).Total()
+	}
+	if rel := math.Abs(sumEst-sumTruth) / sumTruth; rel > 0.01 {
+		t.Errorf("aggregate bias %.3f%%, want < 1%%", 100*rel)
+	}
+}
+
+func TestSampleSeriesVarianceScaling(t *testing.T) {
+	// Relative error should shrink roughly like 1/sqrt(expected sampled
+	// packets): compare a small-flow and a large-flow series.
+	cfg := Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 2}
+	small := flatSeries(3, 200, 8e5) // ~1 sampled packet per entry
+	big := flatSeries(3, 200, 8e8)   // ~1000 sampled packets per entry
+
+	estSmall, err := SampleSeries(small, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estBig, err := SampleSeries(big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := RelativeErrors(small, estSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := RelativeErrors(big, estBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanSmall := stats.Mean(rSmall)
+	meanBig := stats.Mean(rBig)
+	// Expected ratio ~ sqrt(1000/1) ≈ 32; demand at least 10x.
+	if meanSmall < 10*meanBig {
+		t.Errorf("relative error small=%.3f big=%.4f; expected ~30x separation",
+			meanSmall, meanBig)
+	}
+}
+
+func TestSampleSeriesZeroEntriesStayZero(t *testing.T) {
+	truth := tm.NewSeries(2, 300)
+	m := tm.New(2)
+	m.Set(0, 1, 1e7)
+	_ = truth.Append(m)
+	est, err := SampleSeries(truth, Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.At(0).At(1, 0) != 0 || est.At(0).At(0, 0) != 0 {
+		t.Error("zero entries must remain zero after sampling")
+	}
+}
+
+func TestSampleSeriesDeterministic(t *testing.T) {
+	truth := flatSeries(3, 5, 1e7)
+	cfg := Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 4}
+	e1, err := SampleSeries(truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := SampleSeries(truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tb := 0; tb < e1.Len(); tb++ {
+		for k := range e1.At(tb).Vec() {
+			if e1.At(tb).Vec()[k] != e2.At(tb).Vec()[k] {
+				t.Fatal("same seed must reproduce sampling noise")
+			}
+		}
+	}
+}
+
+func TestSampleMatrix(t *testing.T) {
+	x := tm.New(2)
+	x.Set(0, 1, 8e8)
+	r := rng.New(5)
+	est, err := SampleMatrix(x, Config{Rate: 0.001, AvgPacketBytes: 800}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.At(0, 1) <= 0 {
+		t.Error("large flow sampled to zero")
+	}
+	if x.At(0, 1) != 8e8 {
+		t.Error("SampleMatrix must not mutate its input")
+	}
+	if _, err := SampleMatrix(x, Config{}, r); !errors.Is(err, ErrConfig) {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestConnectionSamplingOverdispersed(t *testing.T) {
+	// Connection-level thinning must have at least the per-packet
+	// variance; with heavy-tailed connections, typically much more.
+	truth := flatSeries(3, 300, 8e7)
+	plain, err := SampleSeries(truth, Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, err := SampleSeriesConnections(truth, Config{Rate: 0.001, AvgPacketBytes: 800, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPlain, err := RelativeErrors(truth, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rConn, err := RelativeErrors(truth, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(rConn) < stats.Mean(rPlain)*0.8 {
+		t.Errorf("connection-level error %.4f unexpectedly below packet-level %.4f",
+			stats.Mean(rConn), stats.Mean(rPlain))
+	}
+	// Estimates stay roughly unbiased.
+	var sumTruth, sumConn float64
+	for tb := 0; tb < truth.Len(); tb++ {
+		sumTruth += truth.At(tb).Total()
+		sumConn += conns.At(tb).Total()
+	}
+	if rel := math.Abs(sumConn-sumTruth) / sumTruth; rel > 0.05 {
+		t.Errorf("connection sampling bias %.2f%%", 100*rel)
+	}
+}
+
+func TestRelativeErrorsShapeMismatch(t *testing.T) {
+	a := flatSeries(2, 2, 1)
+	b := flatSeries(3, 2, 1)
+	if _, err := RelativeErrors(a, b); !errors.Is(err, ErrConfig) {
+		t.Error("shape mismatch must fail")
+	}
+}

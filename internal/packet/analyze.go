@@ -1,0 +1,166 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Connection is a matched bidirectional flow pair, oriented by SYN.
+type Connection struct {
+	// Initiator and Responder flows; Initiator carried the SYN.
+	Initiator, Responder *FlowRecord
+	// InitiatorOnAB reports whether the initiator flow was observed on
+	// the A->B link direction.
+	InitiatorOnAB bool
+}
+
+// MatchResult is the outcome of 5-tuple matching and SYN orientation.
+type MatchResult struct {
+	Connections []Connection
+	// UnknownBytes counts bytes in flows that could not be attributed:
+	// unmatched tuples, pairs with no SYN (pre-trace connections), or
+	// pairs with a SYN on both sides (tuple collision).
+	UnknownBytes float64
+	// TotalBytes is all bytes observed on both directions.
+	TotalBytes float64
+}
+
+// UnknownFraction returns the unattributable byte share.
+func (m *MatchResult) UnknownFraction() float64 {
+	if m.TotalBytes == 0 {
+		return 0
+	}
+	return m.UnknownBytes / m.TotalBytes
+}
+
+// Match pairs flows across the two directions of a link by 5-tuple and
+// orients each pair by its SYN observation, implementing the first two
+// steps of the paper's Section 5.2 methodology. Flows with duplicate
+// tuples on one direction are counted as unknown (a real analyzer cannot
+// disambiguate them without sequence numbers).
+func Match(ab, ba []FlowRecord) *MatchResult {
+	res := &MatchResult{}
+	// Group each direction by tuple; only uniquely-keyed flows can be
+	// matched unambiguously.
+	abIdx := groupByTuple(ab)
+	baIdx := groupByTuple(ba)
+	for i := range ab {
+		res.TotalBytes += float64(ab[i].Bytes)
+	}
+	for i := range ba {
+		res.TotalBytes += float64(ba[i].Bytes)
+	}
+
+	matchedBA := make(map[int]bool)
+	for i := range ab {
+		t := ab[i].Tuple
+		if len(abIdx[t]) != 1 {
+			res.UnknownBytes += float64(ab[i].Bytes)
+			continue
+		}
+		cands := baIdx[t.Reverse()]
+		if len(cands) != 1 {
+			res.UnknownBytes += float64(ab[i].Bytes)
+			continue
+		}
+		j := cands[0]
+		matchedBA[j] = true
+		fa, fb := &ab[i], &ba[j]
+		switch {
+		case fa.SYN && !fb.SYN:
+			res.Connections = append(res.Connections, Connection{Initiator: fa, Responder: fb, InitiatorOnAB: true})
+		case fb.SYN && !fa.SYN:
+			res.Connections = append(res.Connections, Connection{Initiator: fb, Responder: fa, InitiatorOnAB: false})
+		default:
+			// No SYN in view (pre-trace connection) or SYN on both
+			// sides: orientation unknown.
+			res.UnknownBytes += float64(fa.Bytes) + float64(fb.Bytes)
+		}
+	}
+	for i := range ba {
+		if !matchedBA[i] {
+			res.UnknownBytes += float64(ba[i].Bytes)
+			continue
+		}
+	}
+	return res
+}
+
+func groupByTuple(flows []FlowRecord) map[FiveTuple][]int {
+	idx := make(map[FiveTuple][]int, len(flows))
+	for i := range flows {
+		idx[flows[i].Tuple] = append(idx[flows[i].Tuple], i)
+	}
+	return idx
+}
+
+// FBin is one time bin's forward-ratio estimate.
+type FBin struct {
+	Bin int
+	// F is the estimate I / (I + R); NaN-free: bins with no attributable
+	// traffic report F = 0 and Valid = false.
+	F     float64
+	Valid bool
+	// Fwd and Rev are the attributed forward/reverse byte volumes.
+	Fwd, Rev float64
+}
+
+// EstimateF computes the per-bin forward-ratio estimates for both
+// orientations from a matched trace, following the paper: for
+// connections initiated on the A side,
+//
+//	f_AB(bin) = I_A(bin) / (I_A(bin) + R_B(bin))
+//
+// where I_A is forward traffic on A->B of A-initiated connections and
+// R_B the corresponding reverse traffic on B->A. Bytes spread uniformly
+// over each flow's observed lifetime.
+func EstimateF(m *MatchResult, duration, binSeconds float64) (fAB, fBA []FBin, err error) {
+	if duration <= 0 || binSeconds <= 0 || binSeconds > duration {
+		return nil, nil, fmt.Errorf("%w: duration %g bin %g", ErrTrace, duration, binSeconds)
+	}
+	nBins := int(duration / binSeconds)
+	if nBins == 0 {
+		nBins = 1
+	}
+	fwdA := make([]float64, nBins)
+	revA := make([]float64, nBins)
+	fwdB := make([]float64, nBins)
+	revB := make([]float64, nBins)
+	for _, c := range m.Connections {
+		for b := 0; b < nBins; b++ {
+			lo := float64(b) * binSeconds
+			hi := lo + binSeconds
+			fw := c.Initiator.ObservedBytesIn(lo, hi)
+			rv := c.Responder.ObservedBytesIn(lo, hi)
+			if c.InitiatorOnAB {
+				fwdA[b] += fw
+				revA[b] += rv
+			} else {
+				fwdB[b] += fw
+				revB[b] += rv
+			}
+		}
+	}
+	mk := func(fwd, rev []float64) []FBin {
+		out := make([]FBin, nBins)
+		for b := 0; b < nBins; b++ {
+			out[b] = FBin{Bin: b, Fwd: fwd[b], Rev: rev[b]}
+			if s := fwd[b] + rev[b]; s > 0 {
+				out[b].F = fwd[b] / s
+				out[b].Valid = true
+			}
+		}
+		return out
+	}
+	return mk(fwdA, revA), mk(fwdB, revB), nil
+}
+
+// AnalyzeTrace is the end-to-end Section 5.2 pipeline: match, orient,
+// and estimate per-bin f for both directions.
+func AnalyzeTrace(tr *Trace, duration, binSeconds float64) (fAB, fBA []FBin, unknownFrac float64, err error) {
+	m := Match(tr.AB, tr.BA)
+	fAB, fBA, err = EstimateF(m, duration, binSeconds)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return fAB, fBA, m.UnknownFraction(), nil
+}

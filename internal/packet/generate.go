@@ -1,0 +1,188 @@
+package packet
+
+import (
+	"fmt"
+	"math"
+
+	"ictm/internal/rng"
+)
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+// TraceConfig drives the bidirectional trace generator.
+type TraceConfig struct {
+	// Duration of the trace in seconds (the paper's D3 is 2 hours).
+	Duration float64
+	// ConnRatePerSide is the mean connection arrival rate (per second)
+	// initiated from each side of the link.
+	ConnRatePerSide float64
+	// Mix is the application mix; nil selects DefaultMix.
+	Mix []AppProfile
+	// PreexistingFraction of connections begin before the trace window;
+	// their SYN is unobserved, so the analyzer must classify them as
+	// unknown (the paper notes this inflates the unknown share).
+	PreexistingFraction float64
+	Seed                uint64
+}
+
+// Validate checks the configuration.
+func (c *TraceConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("%w: duration %g", ErrTrace, c.Duration)
+	case c.ConnRatePerSide <= 0:
+		return fmt.Errorf("%w: connection rate %g", ErrTrace, c.ConnRatePerSide)
+	case c.PreexistingFraction < 0 || c.PreexistingFraction >= 1:
+		return fmt.Errorf("%w: preexisting fraction %g", ErrTrace, c.PreexistingFraction)
+	}
+	return nil
+}
+
+// Trace is a bidirectional flow-record trace on one link pair, plus the
+// generation ground truth used by tests.
+type Trace struct {
+	// AB holds flows on the A->B direction, BA on B->A.
+	AB, BA []FlowRecord
+	// Ground truth: total forward and reverse bytes of connections
+	// initiated at A and at B (whole-trace, pre-binning).
+	TrueFwdA, TrueRevA float64
+	TrueFwdB, TrueRevB float64
+}
+
+// TrueF returns the ground-truth forward ratios for connections
+// initiated at A and at B.
+func (tr *Trace) TrueF() (fA, fB float64) {
+	if s := tr.TrueFwdA + tr.TrueRevA; s > 0 {
+		fA = tr.TrueFwdA / s
+	}
+	if s := tr.TrueFwdB + tr.TrueRevB; s > 0 {
+		fB = tr.TrueFwdB / s
+	}
+	return fA, fB
+}
+
+// GenerateBidirectional synthesizes the trace. Connections initiated at
+// A send their forward bytes on A->B and receive reverse bytes on B->A;
+// connections initiated at B are the mirror image. Each connection gets
+// a unique ephemeral source port / host pair, a class-dependent size and
+// duration, and a SYN observation on the initiator flow iff the
+// connection starts inside the trace.
+func GenerateBidirectional(cfg TraceConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	var wsum float64
+	for _, app := range mix {
+		if app.Weight < 0 {
+			return nil, fmt.Errorf("%w: negative weight for %q", ErrTrace, app.Name)
+		}
+		wsum += app.Weight
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("%w: zero total mix weight", ErrTrace)
+	}
+
+	r := rng.New(cfg.Seed).Derive("packet/trace")
+	tr := &Trace{}
+	nConns := int(cfg.Duration*cfg.ConnRatePerSide*2 + 0.5)
+
+	for c := 0; c < nConns; c++ {
+		initiatorIsA := c%2 == 0
+		app := sampleApp(r, mix, wsum)
+
+		f := r.TruncNormal(app.ForwardRatio, app.Jitter, 0.01, 0.99)
+		fwdBytes := r.LogNormal(app.FwdBytesMu, app.FwdBytesSigma)
+		revBytes := fwdBytes * (1 - f) / f
+		duration := r.Exp(1 / app.MeanDuration)
+
+		start := r.Float64() * cfg.Duration
+		preexisting := r.Float64() < cfg.PreexistingFraction
+		if preexisting {
+			// Began before the window; it is observed from t=0 with the
+			// pre-window bytes lost and no SYN in view. Keep the overlap.
+			start = -r.Float64() * duration
+		}
+		end := start + duration
+		if end > cfg.Duration {
+			// Clip at the trace end; bytes scale with the observed share.
+			frac := (cfg.Duration - math.Max(start, 0)) / duration
+			if frac <= 0 {
+				continue
+			}
+			fwdBytes *= frac
+			revBytes *= frac
+			end = cfg.Duration
+		}
+		if start < 0 {
+			frac := end / duration
+			if frac <= 0 {
+				continue
+			}
+			fwdBytes *= frac
+			revBytes *= frac
+		}
+
+		// Addressing: initiator host with ephemeral port; responder at
+		// the app's well-known port. Distinct /16s per side make flows
+		// attributable in debugging, not needed for matching.
+		initIP := uint32(0x0a000000 | c) // 10.x: initiator pool
+		respIP := uint32(0xac100000 | c) // 172.16.x: responder pool
+		ephemeral := uint16(1024 + c%60000)
+		tuple := FiveTuple{
+			SrcIP: initIP, DstIP: respIP,
+			SrcPort: ephemeral, DstPort: app.Port,
+			Proto: 6,
+		}
+
+		fwd := FlowRecord{
+			Tuple: tuple, Start: start, End: end,
+			Bytes:   int64(fwdBytes + 0.5),
+			Packets: packetsFor(fwdBytes),
+			SYN:     !preexisting,
+		}
+		rev := FlowRecord{
+			Tuple: tuple.Reverse(), Start: start, End: end,
+			Bytes:   int64(revBytes + 0.5),
+			Packets: packetsFor(revBytes),
+			SYN:     false,
+		}
+		if fwd.Bytes == 0 && rev.Bytes == 0 {
+			continue
+		}
+		if initiatorIsA {
+			tr.AB = append(tr.AB, fwd)
+			tr.BA = append(tr.BA, rev)
+			tr.TrueFwdA += float64(fwd.Bytes)
+			tr.TrueRevA += float64(rev.Bytes)
+		} else {
+			tr.BA = append(tr.BA, fwd)
+			tr.AB = append(tr.AB, rev)
+			tr.TrueFwdB += float64(fwd.Bytes)
+			tr.TrueRevB += float64(rev.Bytes)
+		}
+	}
+	return tr, nil
+}
+
+func sampleApp(r *rng.PCG, mix []AppProfile, wsum float64) AppProfile {
+	u := r.Float64() * wsum
+	var cum float64
+	for _, app := range mix {
+		cum += app.Weight
+		if u <= cum {
+			return app
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// packetsFor approximates the packet count of a byte volume with
+// ~1000-byte data packets and a handful of control packets.
+func packetsFor(bytes float64) int64 {
+	n := int64(bytes/1000) + 3
+	return n
+}

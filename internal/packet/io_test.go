@@ -1,0 +1,79 @@
+package packet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	cfg := TraceConfig{Duration: 600, ConnRatePerSide: 2, PreexistingFraction: 0.1, Seed: 30}
+	tr, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.AB) != len(tr.AB) || len(got.BA) != len(tr.BA) {
+		t.Fatalf("roundtrip sizes %d/%d, want %d/%d", len(got.AB), len(got.BA), len(tr.AB), len(tr.BA))
+	}
+	for i := range tr.AB {
+		if got.AB[i] != tr.AB[i] {
+			t.Fatalf("AB record %d mismatch:\n got %+v\nwant %+v", i, got.AB[i], tr.AB[i])
+		}
+	}
+	for i := range tr.BA {
+		if got.BA[i] != tr.BA[i] {
+			t.Fatalf("BA record %d mismatch", i)
+		}
+	}
+	// Analysis of the round-tripped trace matches the original.
+	f1, _, u1, err := AnalyzeTrace(tr, cfg.Duration, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _, u2, err := AnalyzeTrace(got, cfg.Duration, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u2 {
+		t.Errorf("unknown fraction changed: %g vs %g", u1, u2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("bin %d estimate changed after roundtrip", i)
+		}
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"link,src_ip,dst_ip,src_port,dst_port,proto,start,end,bytes,packets,syn\nxx,1,2,3,4,6,0,1,10,2,true\n",
+		"link,src_ip,dst_ip,src_port,dst_port,proto,start,end,bytes,packets,syn\nab,notanip,2,3,4,6,0,1,10,2,true\n",
+		"link,src_ip,dst_ip,src_port,dst_port,proto,start,end,bytes,packets,syn\nab,1,2,3,4,6,0,1,10,2,maybe\n",
+		"link,src_ip,dst_ip,src_port,dst_port,proto,start,end,bytes,packets,syn\nab,1,2,3,4,999,0,1,10,2,true\n",
+	}
+	for k, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: want error", k)
+		}
+	}
+}
+
+func TestReadTraceCSVHeaderOnly(t *testing.T) {
+	in := "link,src_ip,dst_ip,src_port,dst_port,proto,start,end,bytes,packets,syn\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.AB) != 0 || len(tr.BA) != 0 {
+		t.Error("header-only trace should be empty")
+	}
+}

@@ -1,0 +1,319 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	r := ft.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 4 || r.DstPort != 3 || r.Proto != 6 {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if r.Reverse() != ft {
+		t.Error("double reverse must be identity")
+	}
+	if len(ft.String()) == 0 {
+		t.Error("String empty")
+	}
+}
+
+func TestObservedBytesIn(t *testing.T) {
+	fr := &FlowRecord{Start: 10, End: 20, Bytes: 100}
+	if got := fr.ObservedBytesIn(10, 20); math.Abs(got-100) > 1e-9 {
+		t.Errorf("full window = %g", got)
+	}
+	if got := fr.ObservedBytesIn(10, 15); math.Abs(got-50) > 1e-9 {
+		t.Errorf("half window = %g", got)
+	}
+	if got := fr.ObservedBytesIn(0, 10); got != 0 {
+		t.Errorf("before window = %g", got)
+	}
+	// Pre-trace flow: Bytes covers the observed window [0, End), so half
+	// the window carries half the bytes.
+	pre := &FlowRecord{Start: -10, End: 10, Bytes: 100}
+	if got := pre.ObservedBytesIn(0, 5); math.Abs(got-50) > 1e-9 {
+		t.Errorf("pre-trace partial = %g, want 50", got)
+	}
+	// Degenerate instantaneous flow.
+	inst := &FlowRecord{Start: 5, End: 5, Bytes: 42}
+	if got := inst.ObservedBytesIn(0, 10); got != 42 {
+		t.Errorf("instantaneous = %g", got)
+	}
+	if got := inst.ObservedBytesIn(6, 10); got != 0 {
+		t.Errorf("instantaneous outside bin = %g", got)
+	}
+}
+
+func TestMixForwardRatioInPaperBand(t *testing.T) {
+	f, err := MixForwardRatio(DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.15 || f > 0.35 {
+		t.Errorf("default mix aggregate f = %g, want in the paper's 0.2-0.3 band (±0.05)", f)
+	}
+}
+
+func TestMixForwardRatioErrors(t *testing.T) {
+	if _, err := MixForwardRatio(nil); !errors.Is(err, ErrTrace) {
+		t.Error("empty mix must fail")
+	}
+	bad := []AppProfile{{Name: "x", ForwardRatio: 1.5, Weight: 1}}
+	if _, err := MixForwardRatio(bad); !errors.Is(err, ErrTrace) {
+		t.Error("f out of range must fail")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Duration: 0, ConnRatePerSide: 1},
+		{Duration: 100, ConnRatePerSide: 0},
+		{Duration: 100, ConnRatePerSide: 1, PreexistingFraction: 1},
+	}
+	for k, cfg := range bad {
+		if _, err := GenerateBidirectional(cfg); !errors.Is(err, ErrTrace) {
+			t.Errorf("case %d: err = %v", k, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TraceConfig{Duration: 600, ConnRatePerSide: 2, Seed: 5}
+	t1, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.AB) != len(t2.AB) || len(t1.BA) != len(t2.BA) {
+		t.Fatal("same seed, different trace sizes")
+	}
+	for i := range t1.AB {
+		if t1.AB[i] != t2.AB[i] {
+			t.Fatal("same seed, different records")
+		}
+	}
+}
+
+func TestGenerateGroundTruthConsistent(t *testing.T) {
+	cfg := TraceConfig{Duration: 1200, ConnRatePerSide: 5, Seed: 6}
+	tr, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All bytes on the two links must equal the ground-truth totals.
+	var abBytes, baBytes float64
+	for _, fr := range tr.AB {
+		abBytes += float64(fr.Bytes)
+	}
+	for _, fr := range tr.BA {
+		baBytes += float64(fr.Bytes)
+	}
+	// A-initiated forward goes on AB, B-initiated reverse goes on AB.
+	wantAB := tr.TrueFwdA + tr.TrueRevB
+	wantBA := tr.TrueFwdB + tr.TrueRevA
+	if math.Abs(abBytes-wantAB) > 1e-6*wantAB {
+		t.Errorf("AB bytes %g != %g", abBytes, wantAB)
+	}
+	if math.Abs(baBytes-wantBA) > 1e-6*wantBA {
+		t.Errorf("BA bytes %g != %g", baBytes, wantBA)
+	}
+	fA, fB := tr.TrueF()
+	if fA <= 0 || fA >= 1 || fB <= 0 || fB >= 1 {
+		t.Errorf("TrueF out of range: %g, %g", fA, fB)
+	}
+}
+
+func TestMatchHandChecked(t *testing.T) {
+	tuple := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1024, DstPort: 80, Proto: 6}
+	ab := []FlowRecord{{Tuple: tuple, Start: 0, End: 10, Bytes: 100, SYN: true}}
+	ba := []FlowRecord{{Tuple: tuple.Reverse(), Start: 0, End: 10, Bytes: 900}}
+	m := Match(ab, ba)
+	if len(m.Connections) != 1 {
+		t.Fatalf("connections = %d, want 1", len(m.Connections))
+	}
+	c := m.Connections[0]
+	if !c.InitiatorOnAB || c.Initiator.Bytes != 100 || c.Responder.Bytes != 900 {
+		t.Errorf("connection = %+v", c)
+	}
+	if m.UnknownBytes != 0 {
+		t.Errorf("unknown = %g", m.UnknownBytes)
+	}
+	if m.TotalBytes != 1000 {
+		t.Errorf("total = %g", m.TotalBytes)
+	}
+}
+
+func TestMatchOrientsBySYNOnBA(t *testing.T) {
+	tuple := FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 2000, DstPort: 80, Proto: 6}
+	// Initiator flow on BA this time.
+	ba := []FlowRecord{{Tuple: tuple, Bytes: 10, SYN: true, Start: 0, End: 1}}
+	ab := []FlowRecord{{Tuple: tuple.Reverse(), Bytes: 90, Start: 0, End: 1}}
+	m := Match(ab, ba)
+	if len(m.Connections) != 1 || m.Connections[0].InitiatorOnAB {
+		t.Fatalf("orientation wrong: %+v", m.Connections)
+	}
+}
+
+func TestMatchUnknownCases(t *testing.T) {
+	tp := func(i uint32) FiveTuple {
+		return FiveTuple{SrcIP: i, DstIP: 100 + i, SrcPort: 1024, DstPort: 80, Proto: 6}
+	}
+	// Case 1: unmatched AB flow.
+	m := Match([]FlowRecord{{Tuple: tp(1), Bytes: 50, SYN: true}}, nil)
+	if m.UnknownBytes != 50 || len(m.Connections) != 0 {
+		t.Errorf("unmatched: unknown=%g conns=%d", m.UnknownBytes, len(m.Connections))
+	}
+	// Case 2: matched but no SYN anywhere (pre-trace).
+	m = Match(
+		[]FlowRecord{{Tuple: tp(2), Bytes: 30}},
+		[]FlowRecord{{Tuple: tp(2).Reverse(), Bytes: 70}},
+	)
+	if m.UnknownBytes != 100 || len(m.Connections) != 0 {
+		t.Errorf("no-SYN: unknown=%g conns=%d", m.UnknownBytes, len(m.Connections))
+	}
+	// Case 3: SYN on both sides (ambiguous).
+	m = Match(
+		[]FlowRecord{{Tuple: tp(3), Bytes: 1, SYN: true}},
+		[]FlowRecord{{Tuple: tp(3).Reverse(), Bytes: 2, SYN: true}},
+	)
+	if m.UnknownBytes != 3 || len(m.Connections) != 0 {
+		t.Errorf("double-SYN: unknown=%g", m.UnknownBytes)
+	}
+	// Case 4: duplicate tuple on AB.
+	m = Match(
+		[]FlowRecord{{Tuple: tp(4), Bytes: 5, SYN: true}, {Tuple: tp(4), Bytes: 7, SYN: true}},
+		[]FlowRecord{{Tuple: tp(4).Reverse(), Bytes: 11}},
+	)
+	if m.UnknownBytes != 23 || len(m.Connections) != 0 {
+		t.Errorf("dup tuple: unknown=%g conns=%d", m.UnknownBytes, len(m.Connections))
+	}
+}
+
+func TestEstimateFValidation(t *testing.T) {
+	m := &MatchResult{}
+	if _, _, err := EstimateF(m, 0, 300); !errors.Is(err, ErrTrace) {
+		t.Error("zero duration must fail")
+	}
+	if _, _, err := EstimateF(m, 100, 300); !errors.Is(err, ErrTrace) {
+		t.Error("bin > duration must fail")
+	}
+}
+
+func TestEstimateFHandChecked(t *testing.T) {
+	tuple := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1024, DstPort: 80, Proto: 6}
+	// One A-initiated connection spanning the whole 600s trace:
+	// 200 forward bytes, 800 reverse → f = 0.2 in every bin.
+	ab := []FlowRecord{{Tuple: tuple, Start: 0, End: 600, Bytes: 200, SYN: true}}
+	ba := []FlowRecord{{Tuple: tuple.Reverse(), Start: 0, End: 600, Bytes: 800}}
+	m := Match(ab, ba)
+	fAB, fBA, err := EstimateF(m, 600, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fAB) != 2 || len(fBA) != 2 {
+		t.Fatalf("bins = %d/%d", len(fAB), len(fBA))
+	}
+	for _, b := range fAB {
+		if !b.Valid || math.Abs(b.F-0.2) > 1e-9 {
+			t.Errorf("fAB bin %d = %+v, want f=0.2", b.Bin, b)
+		}
+	}
+	for _, b := range fBA {
+		if b.Valid {
+			t.Errorf("fBA bin %d should be invalid (no B-initiated traffic)", b.Bin)
+		}
+	}
+}
+
+// End-to-end reproduction check for the Fig. 4 path: estimated f per bin
+// tracks the ground-truth mix ratio, both directions agree, and the
+// unknown fraction reflects pre-trace connections.
+func TestAnalyzeTraceEndToEnd(t *testing.T) {
+	cfg := TraceConfig{
+		Duration:            7200,
+		ConnRatePerSide:     4,
+		PreexistingFraction: 0.05,
+		Seed:                7,
+	}
+	tr, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAB, fBA, unknown, err := AnalyzeTrace(tr, cfg.Duration, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fAB) != 24 {
+		t.Fatalf("bins = %d, want 24", len(fAB))
+	}
+	trueFA, trueFB := tr.TrueF()
+	meanOf := func(bins []FBin) float64 {
+		var s float64
+		var n int
+		for _, b := range bins {
+			if b.Valid {
+				s += b.F
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	mAB, mBA := meanOf(fAB), meanOf(fBA)
+	if math.Abs(mAB-trueFA) > 0.06 {
+		t.Errorf("mean f̂_AB = %g vs truth %g", mAB, trueFA)
+	}
+	if math.Abs(mBA-trueFB) > 0.06 {
+		t.Errorf("mean f̂_BA = %g vs truth %g", mBA, trueFB)
+	}
+	// The two directions should be close (spatial stability, Fig. 4).
+	if math.Abs(mAB-mBA) > 0.1 {
+		t.Errorf("directional estimates differ: %g vs %g", mAB, mBA)
+	}
+	// Paper band check for the default mix.
+	if mAB < 0.1 || mAB > 0.4 {
+		t.Errorf("f̂ = %g far outside the expected band", mAB)
+	}
+	// Unknown fraction: nonzero (pre-trace conns) but bounded (paper
+	// reports < 20%).
+	if unknown <= 0 || unknown > 0.2 {
+		t.Errorf("unknown fraction = %g, want (0, 0.2]", unknown)
+	}
+}
+
+// Temporal stability: per-bin estimates should not swing wildly for a
+// stationary mix (the paper's observation that f stays in 0.2-0.3).
+func TestFTemporalStability(t *testing.T) {
+	cfg := TraceConfig{Duration: 7200, ConnRatePerSide: 6, Seed: 8}
+	tr, err := GenerateBidirectional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAB, _, _, err := AnalyzeTrace(tr, cfg.Duration, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi = 1.0, 0.0
+	for _, b := range fAB {
+		if !b.Valid {
+			continue
+		}
+		if b.F < lo {
+			lo = b.F
+		}
+		if b.F > hi {
+			hi = b.F
+		}
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("per-bin f range [%g, %g] too wide for a stationary mix", lo, hi)
+	}
+}

@@ -1,0 +1,94 @@
+// Package report renders experiment results as a Markdown reproduction
+// report: one summary table per figure plus the shape-target verdicts,
+// in the style of EXPERIMENTS.md. It is used by cmd/icexperiments
+// (-markdown) to regenerate the measured columns of that document.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ictm/internal/experiments"
+)
+
+// paperClaims summarizes what the paper reports per figure, for the
+// side-by-side table.
+var paperClaims = map[string]string{
+	"fig2":  "P[E=A|I=·] = 0.50 / 0.93 / 0.95; P[E=A] = 0.65",
+	"fig3":  "fit improvement over gravity: Géant 20-25%, Totem 6-8%",
+	"fig4":  "f in [0.2, 0.3], stable, directions agree, unknown < 20%",
+	"fig5":  "weekly f ≈ 0.2, very stable over 7 weeks",
+	"fig6":  "preferences remarkably stable week to week",
+	"fig7":  "lognormal CCDF fits far better; mu ≈ -4.3, sigma ≈ 1.7",
+	"fig8":  "little P-vs-egress correlation above the median node",
+	"fig9":  "strong diurnal + weekend structure in A_i(t)",
+	"fig10": "routing asymmetry breaks constant-f; general model needed",
+	"fig11": "estimation gain: Géant 10-20%, Totem 20-30%",
+	"fig12": "estimation gain 10-20% with week-old f, P",
+	"fig13": "estimation gain ~8% (Géant), 1-2% (Totem) with only f",
+}
+
+// Write renders the results as Markdown. Each figure gets a section
+// with the paper claim, the measured summary values, and the shape
+// verdict from experiments.Check.
+func Write(w io.Writer, results []*experiments.Result) error {
+	if _, err := fmt.Fprintf(w, "# Reproduction report\n\n"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		verdict := "ok"
+		if err := experiments.Check(r); err != nil {
+			verdict = "VIOLATED: " + err.Error()
+		}
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
+			return err
+		}
+		if claim, ok := paperClaims[r.ID]; ok {
+			if _, err := fmt.Fprintf(w, "*Paper:* %s\n\n", claim); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "*Shape check:* %s\n\n", verdict); err != nil {
+			return err
+		}
+		if err := writeSummaryTable(w, r); err != nil {
+			return err
+		}
+		if r.Notes != "" {
+			if _, err := fmt.Fprintf(w, "\n> %s\n", r.Notes); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSummaryTable(w io.Writer, r *experiments.Result) error {
+	if len(r.Summary) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(r.Summary))
+	for k := range r.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "| metric | value |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "| %s | %.5g |\n", escapePipes(k), r.Summary[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapePipes(s string) string { return strings.ReplaceAll(s, "|", "\\|") }

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ictm/internal/experiments"
+)
+
+func TestWriteRendersAllSections(t *testing.T) {
+	results := []*experiments.Result{
+		{
+			ID:    "fig2",
+			Title: "example",
+			Summary: map[string]float64{
+				"max_abs_deviation_from_gravity": 0.3,
+				"P[E=A|I=A]":                     0.496,
+			},
+			Notes: "a note",
+		},
+		{
+			ID:    "fig3",
+			Title: "fit improvement",
+			Summary: map[string]float64{
+				"mean_improvement_geant": 20,
+				"mean_improvement_totem": 9,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## fig2",
+		"## fig3",
+		"*Paper:*",
+		"*Shape check:* ok",
+		"| mean_improvement_geant | 20 |",
+		"> a note",
+		"P[E=A\\|I=A]", // pipe escaping in table cells
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFlagsViolations(t *testing.T) {
+	bad := []*experiments.Result{{
+		ID:    "fig3",
+		Title: "inverted",
+		Summary: map[string]float64{
+			"mean_improvement_geant": -4,
+			"mean_improvement_totem": 3,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Error("violation not flagged in report")
+	}
+}
+
+func TestWriteEndToEndSmallScale(t *testing.T) {
+	w := experiments.NewWorld(experiments.Config{Scale: 0.02})
+	res, err := experiments.Fig2(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig2") {
+		t.Error("end-to-end report missing figure")
+	}
+}

@@ -1,0 +1,101 @@
+// Package routing builds the linear measurement operators of the TM
+// estimation problem (Section 6 of the paper): the routing matrix R with
+// Y = R·x relating the linearized traffic matrix x to observable link
+// loads Y, including the ingress/egress "access link" rows the paper
+// assumes are measured alongside internal links.
+//
+// Row layout of R (and of every load vector):
+//
+//	rows [0, L)        — internal directed links, in graph edge order,
+//	                     with fractional entries under ECMP splitting
+//	rows [L, L+n)      — ingress rows: row L+i sums all OD pairs (i, *)
+//	rows [L+n, L+2n)   — egress rows:  row L+n+j sums all OD pairs (*, j)
+//
+// Self-pairs (i, i) never traverse internal links but do count toward
+// node ingress and egress, matching how PoP-level byte counters behave.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"ictm/internal/linalg"
+	"ictm/internal/tm"
+	"ictm/internal/topology"
+)
+
+// ErrInput reports invalid inputs to routing construction.
+var ErrInput = errors.New("routing: invalid input")
+
+// Matrix is a routing matrix with its layout metadata.
+type Matrix struct {
+	// R is the (L + 2n) x n² routing matrix.
+	R *linalg.Matrix
+	// N is the number of access points; L the number of directed links.
+	N, L int
+}
+
+// Build constructs the routing matrix for graph g under shortest-path
+// ECMP routing.
+func Build(g *topology.Graph) (*Matrix, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrInput)
+	}
+	l := g.NumEdges()
+	r := linalg.NewMatrix(l+2*n, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			col := tm.PairIndex(n, i, j)
+			if i != j {
+				frac, err := g.ECMPFractions(i, j)
+				if err != nil {
+					return nil, fmt.Errorf("routing: pair (%d,%d): %w", i, j, err)
+				}
+				for eid, f := range frac {
+					r.Set(eid, col, f)
+				}
+			}
+			r.Set(l+i, col, 1)   // ingress at i
+			r.Set(l+n+j, col, 1) // egress at j
+		}
+	}
+	return &Matrix{R: r, N: n, L: l}, nil
+}
+
+// Rows returns the total number of measurement rows, L + 2n.
+func (m *Matrix) Rows() int { return m.L + 2*m.N }
+
+// LinkLoads returns Y = R·vec(x) for a traffic matrix x.
+func (m *Matrix) LinkLoads(x *tm.TrafficMatrix) ([]float64, error) {
+	if x.N() != m.N {
+		return nil, fmt.Errorf("%w: matrix over %d nodes for n=%d routing", ErrInput, x.N(), m.N)
+	}
+	return m.R.MulVec(x.Vec())
+}
+
+// SplitLoads separates a load vector into its internal-link, ingress and
+// egress components.
+func (m *Matrix) SplitLoads(y []float64) (links, ingress, egress []float64, err error) {
+	if len(y) != m.Rows() {
+		return nil, nil, nil, fmt.Errorf("%w: load vector of %d, want %d", ErrInput, len(y), m.Rows())
+	}
+	return y[:m.L], y[m.L : m.L+m.N], y[m.L+m.N:], nil
+}
+
+// Utilizations returns per-internal-link loads divided by capacity.
+// A single scalar capacity applies to every link.
+func (m *Matrix) Utilizations(x *tm.TrafficMatrix, capacity float64) ([]float64, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: capacity %g", ErrInput, capacity)
+	}
+	y, err := m.LinkLoads(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.L)
+	for i := 0; i < m.L; i++ {
+		out[i] = y[i] / capacity
+	}
+	return out, nil
+}

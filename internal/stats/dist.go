@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadSample is returned when a distribution fit receives data outside
+// the distribution's support (e.g. non-positive values for lognormal).
+var ErrBadSample = errors.New("stats: sample outside distribution support")
+
+// Dist is a continuous distribution with enough surface for the
+// model-comparison plots of the paper (Fig. 7): CCDF evaluation and a
+// human-readable description.
+type Dist interface {
+	// CCDF returns P[X > x].
+	CCDF(x float64) float64
+	// String describes the fitted distribution.
+	String() string
+}
+
+// Exponential is an exponential distribution with rate Lambda
+// (mean 1/Lambda).
+type Exponential struct {
+	Lambda float64
+}
+
+// CCDF returns exp(-lambda x) for x >= 0 and 1 for x < 0.
+func (e Exponential) CCDF(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	return math.Exp(-e.Lambda * x)
+}
+
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(lambda=%.4g)", e.Lambda)
+}
+
+// FitExponential returns the maximum-likelihood exponential fit
+// (lambda = 1/mean). The sample must be non-empty with positive mean.
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, ErrEmpty
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return Exponential{}, fmt.Errorf("%w: exponential needs positive mean, got %g", ErrBadSample, m)
+	}
+	return Exponential{Lambda: 1 / m}, nil
+}
+
+// LogNormal is a lognormal distribution: log X ~ Normal(Mu, Sigma).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// CCDF returns P[X > x] = Q((ln x - mu)/sigma) where Q is the standard
+// normal upper tail.
+func (l LogNormal) CCDF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%.4g, sigma=%.4g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal returns the maximum-likelihood lognormal fit: mu and
+// sigma are the mean and (population) standard deviation of log X.
+// All samples must be strictly positive.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) == 0 {
+		return LogNormal{}, ErrEmpty
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, fmt.Errorf("%w: lognormal needs positive samples, got %g", ErrBadSample, x)
+		}
+		logs[i] = math.Log(x)
+	}
+	mu := Mean(logs)
+	// MLE uses the population (1/n) variance of the logs.
+	var s float64
+	for _, lg := range logs {
+		d := lg - mu
+		s += d * d
+	}
+	sigma := math.Sqrt(s / float64(len(logs)))
+	if sigma == 0 {
+		sigma = 1e-12 // degenerate single-point sample; keep CCDF evaluable
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between the
+// empirical distribution of xs and the model d: sup_x |F_n(x) - F(x)|,
+// evaluated at the sample points (both one-sided gaps are checked).
+func KSDistance(xs []float64, d Dist) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var worst float64
+	for i, x := range sorted {
+		f := 1 - d.CCDF(x) // model CDF
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if g := math.Abs(f - lo); g > worst {
+			worst = g
+		}
+		if g := math.Abs(f - hi); g > worst {
+			worst = g
+		}
+	}
+	return worst, nil
+}

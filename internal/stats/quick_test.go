@@ -1,0 +1,16 @@
+package stats
+
+import (
+	"math/rand"
+
+	"ictm/internal/rng"
+)
+
+// pcgSource adapts rng.PCG to math/rand.Source64 so testing/quick runs
+// deterministically from a fixed PCG seed.
+type pcgSource struct{ p *rng.PCG }
+
+func (s pcgSource) Int63() int64    { return int64(s.p.Uint64() >> 1) }
+func (s pcgSource) Uint64() uint64  { return s.p.Uint64() }
+func (s pcgSource) Seed(seed int64) {} // fixed stream; reseeding unsupported
+func stdRand(p *rng.PCG) *rand.Rand { return rand.New(pcgSource{p}) }

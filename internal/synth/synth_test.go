@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/stats"
+	"ictm/internal/timeseries"
+)
+
+// small returns a fast scenario for unit tests.
+func small() Scenario {
+	sc := GeantLike()
+	sc.N = 8
+	sc.BinsPerWeek = 112 // 16 bins/day
+	sc.Weeks = 2
+	return sc
+}
+
+func TestValidate(t *testing.T) {
+	good := small()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	mutations := []func(*Scenario){
+		func(s *Scenario) { s.N = 1 },
+		func(s *Scenario) { s.Weeks = 0 },
+		func(s *Scenario) { s.BinsPerWeek = 0 },
+		func(s *Scenario) { s.F = 0 },
+		func(s *Scenario) { s.F = 1 },
+		func(s *Scenario) { s.FPairJitter = -1 },
+		func(s *Scenario) { s.PrefSigma = -1 },
+		func(s *Scenario) { s.DiurnalAmp = 1 },
+		func(s *Scenario) { s.WeekendFactor = 0 },
+		func(s *Scenario) { s.SamplingRate = 2 },
+		func(s *Scenario) { s.SamplingRate = 0.001; s.AvgPacketBytes = 0 },
+	}
+	for k, mut := range mutations {
+		sc := small()
+		mut(&sc)
+		if err := sc.Validate(); !errors.Is(err, ErrScenario) {
+			t.Errorf("mutation %d: err = %v, want ErrScenario", k, err)
+		}
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	sc := small()
+	d1, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Series.N() != sc.N || d1.Series.Len() != sc.BinsPerWeek*sc.Weeks {
+		t.Fatalf("series shape %dx%d", d1.Series.N(), d1.Series.Len())
+	}
+	d2, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tb := 0; tb < d1.Series.Len(); tb++ {
+		for k := range d1.Series.At(tb).Vec() {
+			if d1.Series.At(tb).Vec()[k] != d2.Series.At(tb).Vec()[k] {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+	d3, err := Generate(func() Scenario { s := sc; s.Seed++; return s }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for k, v := range d1.Series.At(0).Vec() {
+		if v != d3.Series.At(0).Vec()[k] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("different seeds should differ somewhere in the first bin")
+	}
+}
+
+func TestGeneratedDataNonNegative(t *testing.T) {
+	d, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tb := 0; tb < d.Series.Len(); tb++ {
+		for _, v := range d.Series.At(tb).Vec() {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bin %d has invalid value %g", tb, v)
+			}
+		}
+	}
+}
+
+func TestWeekSlicing(t *testing.T) {
+	d, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := d.Week(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0.Len() != d.Scenario.BinsPerWeek {
+		t.Errorf("week length = %d", w0.Len())
+	}
+	if _, err := d.Week(2); !errors.Is(err, ErrScenario) {
+		t.Error("week out of range must fail")
+	}
+	// Week 1 starts where week 0 ends.
+	w1, err := d.Week(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.At(0) != d.Series.At(d.Scenario.BinsPerWeek) {
+		t.Error("week slices must share underlying matrices")
+	}
+}
+
+func TestPreferencesNormalizedAndHeavyTailed(t *testing.T) {
+	sc := GeantLike()
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range d.TruePref {
+		if v <= 0 {
+			t.Error("non-positive preference")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pref sum = %g", sum)
+	}
+	// Heavy tail: max should dominate the median clearly.
+	med, _ := stats.Median(d.TruePref)
+	max, _ := stats.Max(d.TruePref)
+	if max < 3*med {
+		t.Errorf("preferences look too uniform: max=%g median=%g", max, med)
+	}
+}
+
+func TestDiurnalStructurePresent(t *testing.T) {
+	// The realized activity of the largest node should show strong daily
+	// periodicity (the Fig. 9 shape check).
+	sc := small()
+	sc.ActivityNoise = 0.08
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largest := 0
+	for i, v := range d.TrueMeanActivity {
+		if v > d.TrueMeanActivity[largest] {
+			largest = i
+		}
+	}
+	xs := make([]float64, d.Series.Len())
+	for tb := range xs {
+		xs[tb] = d.TrueActivity[tb][largest]
+	}
+	binsPerDay := float64(sc.BinsPerWeek) / 7
+	frac, err := timeseries.PeriodicEnergyFraction(xs, binsPerDay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.3 {
+		t.Errorf("diurnal energy fraction = %g, want >= 0.3", frac)
+	}
+}
+
+func TestWeekendReducesActivity(t *testing.T) {
+	sc := small()
+	sc.ActivityNoise = 0
+	sc.NoiseSigma = 0
+	sc.SamplingRate = 0
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binsPerDay := sc.BinsPerWeek / 7
+	var weekday, weekend float64
+	var nw, ne int
+	for tb := 0; tb < d.Series.Len(); tb++ {
+		day := (tb / binsPerDay) % 7
+		tot := d.Series.At(tb).Total()
+		if day >= 5 {
+			weekend += tot
+			ne++
+		} else {
+			weekday += tot
+			nw++
+		}
+	}
+	if weekend/float64(ne) >= weekday/float64(nw) {
+		t.Errorf("weekend mean %g >= weekday mean %g", weekend/float64(ne), weekday/float64(nw))
+	}
+}
+
+func TestAsymmetryKnob(t *testing.T) {
+	sc := small()
+	sc.Asymmetry = 0.15
+	sc.FPairJitter = 0
+	sc.FTimeJitter = 0
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asymCount := 0
+	for i := 0; i < sc.N; i++ {
+		for j := i + 1; j < sc.N; j++ {
+			if math.Abs(d.PairF[i][j]-d.PairF[j][i]) > 0.2 {
+				asymCount++
+			}
+		}
+	}
+	if asymCount == 0 {
+		t.Error("asymmetry knob produced no asymmetric pairs")
+	}
+}
+
+func TestSamplingAddsRelativeNoiseToSmallFlows(t *testing.T) {
+	// With aggressive sampling, small flows get noisier (relatively) than
+	// large flows; many tiny flows round to zero.
+	sc := small()
+	sc.NoiseSigma = 0
+	sc.ActivityNoise = 0
+	sc.SamplingRate = 0.001
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	totalEntries := 0
+	for tb := 0; tb < d.Series.Len(); tb++ {
+		for _, v := range d.Series.At(tb).Vec() {
+			totalEntries++
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros == 0 {
+		t.Log("no zero entries under sampling; acceptable but unusual for heavy-tailed flows")
+	}
+	if zeros == totalEntries {
+		t.Error("sampling zeroed everything; scenario scale is wrong")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, sc := range []Scenario{GeantLike(), TotemLike()} {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+	g, tt := GeantLike(), TotemLike()
+	if g.N != 22 || g.BinsPerWeek != 2016 || g.Weeks != 3 {
+		t.Errorf("GeantLike dims = %d/%d/%d", g.N, g.BinsPerWeek, g.Weeks)
+	}
+	if tt.N != 23 || tt.BinsPerWeek != 672 || tt.Weeks != 7 {
+		t.Errorf("TotemLike dims = %d/%d/%d", tt.N, tt.BinsPerWeek, tt.Weeks)
+	}
+	// Totem-like must be the noisier scenario (drives the smaller gains).
+	if tt.FPairJitter <= g.FPairJitter || tt.NoiseSigma <= g.NoiseSigma {
+		t.Error("TotemLike should be noisier than GeantLike")
+	}
+}

@@ -1,0 +1,145 @@
+package tm
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the series as CSV with header "bin,origin,dest,bytes",
+// one row per OD pair per time bin. Zero flows are written too, so the
+// output is self-describing and round-trips exactly.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin", "origin", "dest", "bytes"}); err != nil {
+		return fmt.Errorf("tm: write csv header: %w", err)
+	}
+	row := make([]string, 4)
+	for t := 0; t < s.Len(); t++ {
+		m := s.At(t)
+		for i := 0; i < s.n; i++ {
+			for j := 0; j < s.n; j++ {
+				row[0] = strconv.Itoa(t)
+				row[1] = strconv.Itoa(i)
+				row[2] = strconv.Itoa(j)
+				row[3] = strconv.FormatFloat(m.At(i, j), 'g', -1, 64)
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("tm: write csv row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series in the WriteCSV format. The node count and bin
+// count are inferred; missing cells default to zero.
+func ReadCSV(r io.Reader, binSeconds int) (*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("tm: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("tm: read csv: empty input")
+	}
+	type cell struct {
+		t, i, j int
+		v       float64
+	}
+	var cells []cell
+	maxT, maxN := -1, -1
+	for lineNo, rec := range records {
+		if lineNo == 0 && len(rec) > 0 && rec[0] == "bin" {
+			continue // header
+		}
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("tm: read csv line %d: want 4 fields, got %d", lineNo+1, len(rec))
+		}
+		t, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("tm: read csv line %d bin: %w", lineNo+1, err)
+		}
+		i, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("tm: read csv line %d origin: %w", lineNo+1, err)
+		}
+		j, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("tm: read csv line %d dest: %w", lineNo+1, err)
+		}
+		v, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tm: read csv line %d bytes: %w", lineNo+1, err)
+		}
+		if t < 0 || i < 0 || j < 0 {
+			return nil, fmt.Errorf("tm: read csv line %d: negative index", lineNo+1)
+		}
+		cells = append(cells, cell{t, i, j, v})
+		if t > maxT {
+			maxT = t
+		}
+		if i > maxN {
+			maxN = i
+		}
+		if j > maxN {
+			maxN = j
+		}
+	}
+	if maxT < 0 || maxN < 0 {
+		return nil, fmt.Errorf("tm: read csv: no data rows")
+	}
+	n := maxN + 1
+	s := NewSeries(n, binSeconds)
+	for t := 0; t <= maxT; t++ {
+		if err := s.Append(New(n)); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range cells {
+		s.At(c.t).Set(c.i, c.j, c.v)
+	}
+	return s, nil
+}
+
+// seriesJSON is the JSON wire form of a Series.
+type seriesJSON struct {
+	N          int         `json:"n"`
+	BinSeconds int         `json:"bin_seconds"`
+	Bins       [][]float64 `json:"bins"` // each row-major linearized matrix
+}
+
+// MarshalJSON encodes the series with linearized per-bin matrices.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	out := seriesJSON{N: s.n, BinSeconds: s.BinSeconds, Bins: make([][]float64, s.Len())}
+	for t := 0; t < s.Len(); t++ {
+		out.Bins[t] = append([]float64(nil), s.At(t).Vec()...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON format.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var in seriesJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("tm: unmarshal series: %w", err)
+	}
+	if in.N < 0 {
+		return fmt.Errorf("tm: unmarshal series: negative n")
+	}
+	out := NewSeries(in.N, in.BinSeconds)
+	for t, vec := range in.Bins {
+		m, err := FromVec(in.N, vec)
+		if err != nil {
+			return fmt.Errorf("tm: unmarshal series bin %d: %w", t, err)
+		}
+		if err := out.Append(m); err != nil {
+			return err
+		}
+	}
+	*s = *out
+	return nil
+}

@@ -1,0 +1,106 @@
+package tm
+
+import (
+	"fmt"
+	"math"
+)
+
+// RelL2 returns the relative L2 error between an estimate and the true
+// matrix at one time bin (equation 6 of the paper):
+//
+//	RelL2(t) = ||X(t) - X̂(t)||₂ / ||X(t)||₂
+//
+// It returns ErrShape (wrapped) on size mismatch. A zero true matrix
+// yields 0 if the estimate is also zero and +Inf otherwise.
+func RelL2(truth, est *TrafficMatrix) (float64, error) {
+	if truth.N() != est.N() {
+		return 0, fmt.Errorf("%w: RelL2 of n=%d vs n=%d", ErrShape, truth.N(), est.N())
+	}
+	var num, den float64
+	tv, ev := truth.Vec(), est.Vec()
+	for k := range tv {
+		d := tv[k] - ev[k]
+		num += d * d
+		den += tv[k] * tv[k]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// RelL2Series returns the per-bin relative L2 errors between two series.
+func RelL2Series(truth, est *Series) ([]float64, error) {
+	if truth.N() != est.N() || truth.Len() != est.Len() {
+		return nil, fmt.Errorf("%w: RelL2Series of (n=%d,T=%d) vs (n=%d,T=%d)",
+			ErrShape, truth.N(), truth.Len(), est.N(), est.Len())
+	}
+	out := make([]float64, truth.Len())
+	for t := 0; t < truth.Len(); t++ {
+		e, err := RelL2(truth.At(t), est.At(t))
+		if err != nil {
+			return nil, err
+		}
+		out[t] = e
+	}
+	return out, nil
+}
+
+// RelL2Spatial returns the per-OD-pair relative L2 error across time
+// (the "spatial" counterpart used in the TM-estimation literature):
+// for pair p, ||x_p - x̂_p||₂ over bins divided by ||x_p||₂.
+// Pairs with zero true energy and zero estimate error report 0.
+func RelL2Spatial(truth, est *Series) ([]float64, error) {
+	if truth.N() != est.N() || truth.Len() != est.Len() {
+		return nil, fmt.Errorf("%w: RelL2Spatial shape mismatch", ErrShape)
+	}
+	n := truth.N()
+	num := make([]float64, n*n)
+	den := make([]float64, n*n)
+	for t := 0; t < truth.Len(); t++ {
+		tv := truth.At(t).Vec()
+		ev := est.At(t).Vec()
+		for k := range tv {
+			d := tv[k] - ev[k]
+			num[k] += d * d
+			den[k] += tv[k] * tv[k]
+		}
+	}
+	out := make([]float64, n*n)
+	for k := range out {
+		switch {
+		case den[k] > 0:
+			out[k] = math.Sqrt(num[k] / den[k])
+		case num[k] == 0:
+			out[k] = 0
+		default:
+			out[k] = math.Inf(1)
+		}
+	}
+	return out, nil
+}
+
+// ImprovementPercent returns the percentage improvement of errNew over
+// errBase: 100 * (errBase - errNew) / errBase. A zero baseline yields 0.
+func ImprovementPercent(errBase, errNew float64) float64 {
+	if errBase == 0 {
+		return 0
+	}
+	return 100 * (errBase - errNew) / errBase
+}
+
+// ImprovementSeries maps ImprovementPercent over paired error series.
+// It returns ErrShape (wrapped) on length mismatch.
+func ImprovementSeries(errBase, errNew []float64) ([]float64, error) {
+	if len(errBase) != len(errNew) {
+		return nil, fmt.Errorf("%w: improvement over %d vs %d bins", ErrShape, len(errBase), len(errNew))
+	}
+	out := make([]float64, len(errBase))
+	for i := range out {
+		out[i] = ImprovementPercent(errBase[i], errNew[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package tm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: RelL2 is invariant under joint positive scaling of truth
+// and estimate.
+func TestRelL2ScaleInvarianceQuick(t *testing.T) {
+	f := func(vals [8]float64, scaleRaw float64) bool {
+		scale := 0.001 + math.Mod(math.Abs(scaleRaw), 1000)
+		if math.IsNaN(scale) {
+			return true
+		}
+		truth := New(2)
+		est := New(2)
+		for k := 0; k < 4; k++ {
+			tv, ev := vals[k], vals[k+4]
+			if math.IsNaN(tv) || math.IsInf(tv, 0) || math.Abs(tv) > 1e9 {
+				return true
+			}
+			if math.IsNaN(ev) || math.IsInf(ev, 0) || math.Abs(ev) > 1e9 {
+				return true
+			}
+			truth.Vec()[k] = math.Abs(tv)
+			est.Vec()[k] = math.Abs(ev)
+		}
+		e1, err := RelL2(truth, est)
+		if err != nil {
+			return false
+		}
+		ts := truth.Clone()
+		es := est.Clone()
+		for k := range ts.Vec() {
+			ts.Vec()[k] *= scale
+			es.Vec()[k] *= scale
+		}
+		e2, err := RelL2(ts, es)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(e1, 1) {
+			return math.IsInf(e2, 1)
+		}
+		return math.Abs(e1-e2) <= 1e-9*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a uniformly relatively perturbed estimate has RelL2 equal
+// to the perturbation size.
+func TestRelL2UniformPerturbation(t *testing.T) {
+	f := func(vals [4]float64, epsRaw float64) bool {
+		eps := math.Mod(math.Abs(epsRaw), 0.5)
+		if math.IsNaN(eps) {
+			return true
+		}
+		truth := New(2)
+		nonzero := false
+		for k, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			truth.Vec()[k] = math.Abs(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		est := truth.Clone()
+		for k := range est.Vec() {
+			est.Vec()[k] *= 1 + eps
+		}
+		e, err := RelL2(truth, est)
+		if err != nil {
+			return false
+		}
+		return math.Abs(e-eps) <= 1e-9*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ingress/egress are linear in the matrix.
+func TestMarginalLinearityQuick(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x := New(2)
+		y := New(2)
+		for k := 0; k < 4; k++ {
+			if math.IsNaN(a[k]) || math.IsInf(a[k], 0) || math.Abs(a[k]) > 1e9 {
+				return true
+			}
+			if math.IsNaN(b[k]) || math.IsInf(b[k], 0) || math.Abs(b[k]) > 1e9 {
+				return true
+			}
+			x.Vec()[k] = a[k]
+			y.Vec()[k] = b[k]
+		}
+		sum := x.Clone()
+		for k, v := range y.Vec() {
+			sum.Vec()[k] += v
+		}
+		xi, yi, si := x.Ingress(), y.Ingress(), sum.Ingress()
+		for i := range si {
+			if math.Abs(si[i]-(xi[i]+yi[i])) > 1e-6*(1+math.Abs(si[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+package tm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTM() *TrafficMatrix {
+	t := New(3)
+	vals := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	}
+	for i := range vals {
+		for j := range vals[i] {
+			t.Set(i, j, vals[i][j])
+		}
+	}
+	return t
+}
+
+func TestAtSetAdd(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Errorf("At = %g, want 7", got)
+	}
+}
+
+func TestFromVec(t *testing.T) {
+	m, err := FromVec(2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	if _, err := FromVec(2, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("FromVec with wrong length must fail")
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	m := sampleTM()
+	ing := m.Ingress()
+	eg := m.Egress()
+	wantIng := []float64{6, 15, 24}
+	wantEg := []float64{12, 15, 18}
+	for i := range wantIng {
+		if ing[i] != wantIng[i] {
+			t.Errorf("Ingress[%d] = %g, want %g", i, ing[i], wantIng[i])
+		}
+		if eg[i] != wantEg[i] {
+			t.Errorf("Egress[%d] = %g, want %g", i, eg[i], wantEg[i])
+		}
+	}
+	if m.Total() != 45 {
+		t.Errorf("Total = %g, want 45", m.Total())
+	}
+}
+
+// Property: sum of ingress = sum of egress = total.
+func TestMarginalConservationQuick(t *testing.T) {
+	f := func(vals [9]float64) bool {
+		m := New(3)
+		for k, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			m.Vec()[k] = v
+		}
+		tot := m.Total()
+		var si, se float64
+		for _, v := range m.Ingress() {
+			si += v
+		}
+		for _, v := range m.Egress() {
+			se += v
+		}
+		tol := 1e-6 * (1 + math.Abs(tot))
+		return math.Abs(si-tot) < tol && math.Abs(se-tot) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if New(2).Norm() != 0 {
+		t.Error("Norm of zero matrix != 0")
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, -3)
+	m.Set(0, 1, 2)
+	removed := m.ClampNonNegative()
+	if removed != 3 {
+		t.Errorf("removed = %g, want 3", removed)
+	}
+	if m.At(0, 0) != 0 || m.At(0, 1) != 2 {
+		t.Errorf("clamp result wrong: %v", m.Vec())
+	}
+}
+
+func TestPairIndexRoundTrip(t *testing.T) {
+	n := 7
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			gi, gj := PairFromIndex(n, PairIndex(n, i, j))
+			if gi != i || gj != j {
+				t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", i, j, gi, gj)
+			}
+		}
+	}
+}
+
+func TestSeriesAppendShape(t *testing.T) {
+	s := NewSeries(3, 300)
+	if err := s.Append(New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(New(4)); !errors.Is(err, ErrShape) {
+		t.Error("appending wrong-size matrix must fail")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := NewSeries(2, 300)
+	for k := 0; k < 5; k++ {
+		m := New(2)
+		m.Set(0, 0, float64(k))
+		_ = s.Append(m)
+	}
+	sub, err := s.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.At(0).At(0, 0) != 1 {
+		t.Errorf("Slice wrong: len=%d first=%g", sub.Len(), sub.At(0).At(0, 0))
+	}
+	if _, err := s.Slice(3, 2); !errors.Is(err, ErrShape) {
+		t.Error("invalid slice must fail")
+	}
+}
+
+func TestIngressEgressSeries(t *testing.T) {
+	s := NewSeries(2, 300)
+	m1 := New(2)
+	m1.Set(0, 1, 10)
+	m2 := New(2)
+	m2.Set(1, 0, 20)
+	_ = s.Append(m1)
+	_ = s.Append(m2)
+	ing := s.IngressSeries()
+	if ing[0][0] != 10 || ing[1][1] != 20 {
+		t.Errorf("IngressSeries = %v", ing)
+	}
+	eg := s.EgressSeries()
+	if eg[1][0] != 10 || eg[0][1] != 20 {
+		t.Errorf("EgressSeries = %v", eg)
+	}
+}
+
+func TestMeanMatrix(t *testing.T) {
+	s := NewSeries(1, 300)
+	for _, v := range []float64{1, 3} {
+		m := New(1)
+		m.Set(0, 0, v)
+		_ = s.Append(m)
+	}
+	mean, err := s.MeanMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.At(0, 0) != 2 {
+		t.Errorf("mean = %g, want 2", mean.At(0, 0))
+	}
+	empty := NewSeries(1, 300)
+	if _, err := empty.MeanMatrix(); !errors.Is(err, ErrShape) {
+		t.Error("mean of empty series must fail")
+	}
+}
+
+func TestRelL2(t *testing.T) {
+	truth := sampleTM()
+	if e, err := RelL2(truth, truth.Clone()); err != nil || e != 0 {
+		t.Errorf("RelL2 self = %g, %v", e, err)
+	}
+	zero := New(3)
+	e, err := RelL2(truth, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("RelL2 vs zero estimate = %g, want 1", e)
+	}
+	if _, err := RelL2(truth, New(2)); !errors.Is(err, ErrShape) {
+		t.Error("RelL2 shape mismatch must fail")
+	}
+}
+
+func TestRelL2ZeroTruth(t *testing.T) {
+	z := New(2)
+	if e, _ := RelL2(z, New(2)); e != 0 {
+		t.Errorf("RelL2(0,0) = %g, want 0", e)
+	}
+	est := New(2)
+	est.Set(0, 0, 1)
+	if e, _ := RelL2(z, est); !math.IsInf(e, 1) {
+		t.Errorf("RelL2(0,x) = %g, want +Inf", e)
+	}
+}
+
+func TestRelL2Series(t *testing.T) {
+	truth := NewSeries(2, 300)
+	est := NewSeries(2, 300)
+	for k := 0; k < 3; k++ {
+		m := New(2)
+		m.Set(0, 0, 2)
+		_ = truth.Append(m)
+		e := New(2)
+		e.Set(0, 0, 1)
+		_ = est.Append(e)
+	}
+	errs, err := RelL2Series(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		if math.Abs(e-0.5) > 1e-12 {
+			t.Errorf("RelL2Series = %v, want all 0.5", errs)
+		}
+	}
+}
+
+func TestRelL2Spatial(t *testing.T) {
+	truth := NewSeries(1, 300)
+	est := NewSeries(1, 300)
+	for k := 0; k < 4; k++ {
+		m := New(1)
+		m.Set(0, 0, 3)
+		_ = truth.Append(m)
+		e := New(1)
+		e.Set(0, 0, 3)
+		if k == 0 {
+			e.Set(0, 0, 0) // one wrong bin
+		}
+		_ = est.Append(e)
+	}
+	sp, err := RelL2Spatial(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(9.0 / 36.0)
+	if math.Abs(sp[0]-want) > 1e-12 {
+		t.Errorf("spatial = %g, want %g", sp[0], want)
+	}
+}
+
+func TestImprovementPercent(t *testing.T) {
+	if got := ImprovementPercent(0.4, 0.3); math.Abs(got-25) > 1e-12 {
+		t.Errorf("improvement = %g, want 25", got)
+	}
+	if got := ImprovementPercent(0, 0.3); got != 0 {
+		t.Errorf("improvement with zero base = %g, want 0", got)
+	}
+	series, err := ImprovementSeries([]float64{0.4, 0.2}, []float64{0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0] != 50 || series[1] != 0 {
+		t.Errorf("ImprovementSeries = %v", series)
+	}
+	if _, err := ImprovementSeries([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := NewSeries(3, 300)
+	m := sampleTM()
+	_ = s.Append(m)
+	_ = s.Append(m.Clone())
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.Len() != 2 {
+		t.Fatalf("roundtrip shape n=%d T=%d", got.N(), got.Len())
+	}
+	for tbin := 0; tbin < 2; tbin++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if got.At(tbin).At(i, j) != s.At(tbin).At(i, j) {
+					t.Fatalf("roundtrip mismatch at t=%d (%d,%d)", tbin, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bin,origin,dest,bytes\nx,0,0,1\n",
+		"bin,origin,dest,bytes\n0,0,0\n",
+		"bin,origin,dest,bytes\n-1,0,0,1\n",
+		"bin,origin,dest,bytes\n0,0,0,notanumber\n",
+	}
+	for k, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), 300); err == nil {
+			t.Errorf("case %d: want error, got nil", k)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := NewSeries(2, 900)
+	m := New(2)
+	m.Set(0, 1, 42.5)
+	_ = s.Append(m)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 2 || got.Len() != 1 || got.BinSeconds != 900 {
+		t.Fatalf("json roundtrip shape wrong: n=%d T=%d bin=%d", got.N(), got.Len(), got.BinSeconds)
+	}
+	if got.At(0).At(0, 1) != 42.5 {
+		t.Errorf("json roundtrip value = %g", got.At(0).At(0, 1))
+	}
+}
+
+func TestJSONBadShape(t *testing.T) {
+	var s Series
+	if err := json.Unmarshal([]byte(`{"n":2,"bins":[[1,2,3]]}`), &s); err == nil {
+		t.Error("bad bin length must fail")
+	}
+}

@@ -1,0 +1,122 @@
+package tmgen
+
+import (
+	"fmt"
+	"math"
+
+	"ictm/internal/core"
+	"ictm/internal/rng"
+	"ictm/internal/timeseries"
+	"ictm/internal/tm"
+)
+
+// ActivityModel is a set of per-node cyclostationary activity models:
+// harmonic waveforms plus per-node multiplicative residual levels,
+// fitted from realized (or fitted) activity series.
+type ActivityModel struct {
+	Models []*timeseries.HarmonicModel
+	// ResidualSigma[i] is the s.d. of log(A_i / model_i) — the
+	// lognormal residual reapplied at synthesis time.
+	ResidualSigma []float64
+}
+
+// FitActivityModel fits per-node harmonic models with harmonics
+// 1..k of the given fundamental period (in bins) to an activity
+// ensemble activities[t][i].
+func FitActivityModel(activities [][]float64, period float64, k int) (*ActivityModel, error) {
+	if len(activities) == 0 || len(activities[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty activity ensemble", ErrRecipe)
+	}
+	n := len(activities[0])
+	T := len(activities)
+	am := &ActivityModel{
+		Models:        make([]*timeseries.HarmonicModel, n),
+		ResidualSigma: make([]float64, n),
+	}
+	series := make([]float64, T)
+	for i := 0; i < n; i++ {
+		for t := 0; t < T; t++ {
+			if len(activities[t]) != n {
+				return nil, fmt.Errorf("%w: ragged activity ensemble at bin %d", ErrRecipe, t)
+			}
+			series[t] = activities[t][i]
+		}
+		model, err := timeseries.FitHarmonics(series, period, k)
+		if err != nil {
+			return nil, fmt.Errorf("tmgen: node %d: %w", i, err)
+		}
+		am.Models[i] = model
+		// Multiplicative residual: std of log-ratio where both sides
+		// are positive.
+		var sum, sumSq float64
+		var count int
+		for t := 0; t < T; t++ {
+			m := model.Eval(float64(t))
+			if m <= 0 || series[t] <= 0 {
+				continue
+			}
+			lr := math.Log(series[t] / m)
+			sum += lr
+			sumSq += lr * lr
+			count++
+		}
+		if count > 1 {
+			meanLR := sum / float64(count)
+			am.ResidualSigma[i] = math.Sqrt(math.Max(0, sumSq/float64(count)-meanLR*meanLR))
+		}
+	}
+	return am, nil
+}
+
+// Synthesize generates T bins of activities from the model, reapplying
+// the fitted residual noise. The harmonic phase continues from bin
+// offset (pass the training length to continue "next week").
+func (am *ActivityModel) Synthesize(T, offset int, seed uint64) [][]float64 {
+	r := rng.New(seed).Derive("tmgen/extend")
+	n := len(am.Models)
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		out[t] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := am.Models[i].Eval(float64(offset + t))
+			if v < 0 {
+				v = 0
+			}
+			if s := am.ResidualSigma[i]; s > 0 {
+				v *= r.LogNormal(0, s)
+			}
+			out[t][i] = v
+		}
+	}
+	return out
+}
+
+// ExtendFromFit projects a fitted stable-fP model forward: it fits
+// harmonic activity models to the fitted per-bin activities (fundamental
+// period binsPerDay, k harmonics) and synthesizes `bins` further bins
+// with the fitted f and preferences — the paper's recipe for generating
+// representative future traffic from one measured week.
+func ExtendFromFit(sp *core.SeriesParams, binsPerDay, harmonics, bins int, binSeconds int, seed uint64) (*tm.Series, error) {
+	if sp.Variant != core.StableFP {
+		return nil, fmt.Errorf("%w: ExtendFromFit needs a stable-fP fit, got %s", ErrRecipe, sp.Variant)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if bins <= 0 || binsPerDay <= 1 {
+		return nil, fmt.Errorf("%w: bins=%d binsPerDay=%d", ErrRecipe, bins, binsPerDay)
+	}
+	am, err := FitActivityModel(sp.Activity, float64(binsPerDay), harmonics)
+	if err != nil {
+		return nil, err
+	}
+	future := &core.SeriesParams{
+		Variant:  core.StableFP,
+		N:        sp.N,
+		T:        bins,
+		F:        sp.F,
+		Pref:     sp.Pref,
+		Activity: am.Synthesize(bins, sp.T, seed),
+	}
+	return future.EvaluateSeries(binSeconds)
+}

@@ -1,0 +1,260 @@
+package tmgen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/core"
+	"ictm/internal/fit"
+	"ictm/internal/stats"
+	"ictm/internal/timeseries"
+	"ictm/internal/tm"
+)
+
+func testRecipe() Recipe {
+	return Recipe{
+		N:          10,
+		T:          96,
+		BinsPerDay: 24,
+		Seed:       5,
+	}
+}
+
+func TestRecipeDefaults(t *testing.T) {
+	r := Recipe{}.Default()
+	if r.F != 0.25 || r.PrefMu != -4.3 || r.PrefSigma != 1.7 || r.BinSeconds != 300 {
+		t.Errorf("defaults = %+v", r)
+	}
+	custom := Recipe{F: 0.4}.Default()
+	if custom.F != 0.4 {
+		t.Error("explicit F overridden")
+	}
+}
+
+func TestRecipeValidate(t *testing.T) {
+	bad := []Recipe{
+		{N: 1, T: 10, BinsPerDay: 5},
+		{N: 5, T: 0, BinsPerDay: 5},
+		{N: 5, T: 10, BinsPerDay: 0},
+		{N: 5, T: 10, BinsPerDay: 5, F: 1.5},
+		{N: 5, T: 10, BinsPerDay: 5, F: 0.2, DiurnalAmp: 1},
+		{N: 5, T: 10, BinsPerDay: 5, F: 0.2, ResidualSigma: -1},
+	}
+	for k, r := range bad {
+		if err := r.Validate(); !errors.Is(err, ErrRecipe) {
+			t.Errorf("case %d: err = %v", k, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndConserving(t *testing.T) {
+	sp1, s1, err := Generate(testRecipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := Generate(testRecipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != 96 || s1.N() != 10 {
+		t.Fatalf("shape %dx%d", s1.N(), s1.Len())
+	}
+	for tb := 0; tb < s1.Len(); tb++ {
+		// Determinism.
+		for k := range s1.At(tb).Vec() {
+			if s1.At(tb).Vec()[k] != s2.At(tb).Vec()[k] {
+				t.Fatal("same seed must reproduce")
+			}
+		}
+		// Conservation: total = ΣA per bin (exact IC structure).
+		var sa float64
+		for _, a := range sp1.Activity[tb] {
+			sa += a
+		}
+		if math.Abs(s1.At(tb).Total()-sa) > 1e-9*sa {
+			t.Fatalf("bin %d: conservation violated", tb)
+		}
+	}
+}
+
+func TestGeneratedSeriesIsExactlyIC(t *testing.T) {
+	// A stable-fP fit of generated data must reach ~zero error and
+	// recover f.
+	recipe := testRecipe()
+	recipe.ResidualSigma = 0.05
+	sp, s, err := Generate(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tmgen's activities are nearly separable (shared diurnal waveform),
+	// so the f ↔ 1-f mirror ambiguity applies: TryMirror selects the
+	// physical branch.
+	res, err := fit.StableFP(s, fit.Options{TryMirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRelL2 > 0.02 {
+		t.Errorf("fit residual on generated data = %g", res.MeanRelL2)
+	}
+	if math.Abs(res.Params.F-sp.F) > 0.03 {
+		t.Errorf("recovered f = %g, want %g", res.Params.F, sp.F)
+	}
+}
+
+func TestGeneratedDiurnalStructure(t *testing.T) {
+	recipe := testRecipe()
+	recipe.ResidualSigma = 0.05
+	sp, _, err := Generate(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, recipe.T)
+	for tb := range xs {
+		xs[tb] = sp.Activity[tb][0]
+	}
+	frac, err := timeseries.PeriodicEnergyFraction(xs, float64(recipe.BinsPerDay), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.5 {
+		t.Errorf("diurnal energy = %g, want >= 0.5", frac)
+	}
+}
+
+func TestFitActivityModelRoundTrip(t *testing.T) {
+	// Noise-free harmonic activities must be recovered exactly.
+	recipe := testRecipe()
+	recipe.ResidualSigma = 0
+	sp, _, err := Generate(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := FitActivityModel(sp.Activity, float64(recipe.BinsPerDay), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(am.Models) != recipe.N {
+		t.Fatalf("models = %d", len(am.Models))
+	}
+	for i, m := range am.Models {
+		for _, tb := range []int{0, 7, 50} {
+			want := sp.Activity[tb][i]
+			got := m.Eval(float64(tb))
+			if math.Abs(got-want) > 0.02*want {
+				t.Errorf("node %d bin %d: model %g vs actual %g", i, tb, got, want)
+			}
+		}
+		if am.ResidualSigma[i] > 0.05 {
+			t.Errorf("node %d residual sigma %g on noise-free data", i, am.ResidualSigma[i])
+		}
+	}
+}
+
+func TestFitActivityModelErrors(t *testing.T) {
+	if _, err := FitActivityModel(nil, 24, 2); !errors.Is(err, ErrRecipe) {
+		t.Error("empty ensemble must fail")
+	}
+	ragged := [][]float64{{1, 2}, {1}}
+	if _, err := FitActivityModel(ragged, 24, 1); err == nil {
+		t.Error("ragged ensemble must fail")
+	}
+}
+
+func TestSynthesizeContinuity(t *testing.T) {
+	// Synthesis with offset continues the waveform phase: synthesizing
+	// at the training offset reproduces the model values (no residual).
+	recipe := testRecipe()
+	recipe.ResidualSigma = 0
+	sp, _, err := Generate(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := FitActivityModel(sp.Activity, float64(recipe.BinsPerDay), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.ResidualSigma = make([]float64, recipe.N) // force deterministic
+	out := am.Synthesize(recipe.BinsPerDay, recipe.T, 9)
+	// One full period later the waveform repeats: compare with training
+	// bins T-BinsPerDay..T-1.
+	for k := 0; k < recipe.BinsPerDay; k++ {
+		trainBin := recipe.T - recipe.BinsPerDay + k
+		for i := 0; i < recipe.N; i++ {
+			want := am.Models[i].Eval(float64(trainBin))
+			got := out[k][i]
+			// Same phase modulo one period.
+			wantNext := am.Models[i].Eval(float64(trainBin + recipe.BinsPerDay))
+			if math.Abs(got-wantNext) > 1e-9*(1+wantNext) {
+				t.Fatalf("continuity broken at k=%d node %d: %g vs %g (train %g)",
+					k, i, got, wantNext, want)
+			}
+		}
+	}
+}
+
+func TestExtendFromFit(t *testing.T) {
+	// Fit week 1 of generated data, extend a synthetic week 2, and
+	// check that week 2 still fits the same stable-fP parameters.
+	recipe := testRecipe()
+	recipe.ResidualSigma = 0.1
+	_, s, err := Generate(recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitRes, err := fit.StableFP(s, fit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	future, err := ExtendFromFit(fitRes.Params, recipe.BinsPerDay, 2, 48, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if future.Len() != 48 || future.N() != recipe.N {
+		t.Fatalf("future shape %dx%d", future.N(), future.Len())
+	}
+	refit, err := fit.StableFP(future, fit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(refit.Params.F-fitRes.Params.F) > 0.02 {
+		t.Errorf("future f = %g, want %g", refit.Params.F, fitRes.Params.F)
+	}
+	corr, err := stats.Pearson(refit.Params.Pref, fitRes.Params.Pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.99 {
+		t.Errorf("future preference correlation = %g", corr)
+	}
+	// Future totals should be in the same ballpark as training totals.
+	trainMean := meanTotal(s)
+	futureMean := meanTotal(future)
+	if futureMean < trainMean/3 || futureMean > trainMean*3 {
+		t.Errorf("future volume %g far from training %g", futureMean, trainMean)
+	}
+}
+
+func TestExtendFromFitValidation(t *testing.T) {
+	sp := &core.SeriesParams{Variant: core.StableF, N: 2, T: 1,
+		Activity: [][]float64{{1, 1}}, PrefPerBin: [][]float64{{1, 1}}, F: 0.3}
+	if _, err := ExtendFromFit(sp, 24, 2, 10, 300, 1); !errors.Is(err, ErrRecipe) {
+		t.Error("non-stable-fP fit must be rejected")
+	}
+	good := &core.SeriesParams{Variant: core.StableFP, N: 2, T: 2, F: 0.3,
+		Pref: []float64{0.5, 0.5}, Activity: [][]float64{{1, 1}, {2, 2}}}
+	if _, err := ExtendFromFit(good, 1, 0, 10, 300, 1); !errors.Is(err, ErrRecipe) {
+		t.Error("binsPerDay <= 1 must be rejected")
+	}
+	if _, err := ExtendFromFit(good, 24, 0, 0, 300, 1); !errors.Is(err, ErrRecipe) {
+		t.Error("bins <= 0 must be rejected")
+	}
+}
+
+func meanTotal(s *tm.Series) float64 {
+	var sum float64
+	for t := 0; t < s.Len(); t++ {
+		sum += s.At(t).Total()
+	}
+	return sum / float64(s.Len())
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECMPFractions returns, for the OD pair (src, dst), the fraction of the
+// demand carried by each directed edge under equal-cost multipath
+// routing with per-hop even splitting: at every node on the shortest-path
+// DAG the incoming flow divides equally over the shortest-path next hops.
+//
+// The result maps edge ID -> fraction in (0, 1]; edges off every shortest
+// src-dst path are absent. src == dst yields an empty map (intra-PoP
+// traffic never enters the backbone). An unreachable destination is an
+// error.
+func (g *Graph) ECMPFractions(src, dst int) (map[int]float64, error) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, fmt.Errorf("%w: pair (%d,%d) outside [0,%d)", ErrGraph, src, dst, g.n)
+	}
+	if src == dst {
+		return map[int]float64{}, nil
+	}
+	distFrom, err := g.Dijkstra(src)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(distFrom[dst], 1) {
+		return nil, fmt.Errorf("%w: %d unreachable from %d", ErrGraph, dst, src)
+	}
+	distTo, err := g.Reverse().Dijkstra(dst)
+	if err != nil {
+		return nil, err
+	}
+	total := distFrom[dst]
+	const eps = 1e-9
+
+	// An edge (u,v) lies on a shortest src->dst path iff
+	// dist(src,u) + w + dist(v,dst) == dist(src,dst).
+	onDAG := func(e Edge) bool {
+		return distFrom[e.From]+e.Weight+distTo[e.To] <= total+eps
+	}
+
+	// Next-hop counts per node (out-degree within the DAG).
+	nextHops := make([][]int, g.n)
+	for _, e := range g.edges {
+		if onDAG(e) {
+			nextHops[e.From] = append(nextHops[e.From], e.ID)
+		}
+	}
+
+	// Process nodes in increasing distance from src so all inflow to a
+	// node is known before its outflow is split.
+	order := make([]int, 0, g.n)
+	for u := 0; u < g.n; u++ {
+		if !math.IsInf(distFrom[u], 1) {
+			order = append(order, u)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return distFrom[order[a]] < distFrom[order[b]] })
+
+	nodeFlow := make([]float64, g.n)
+	nodeFlow[src] = 1
+	frac := make(map[int]float64)
+	for _, u := range order {
+		if u == dst || nodeFlow[u] == 0 || len(nextHops[u]) == 0 {
+			continue
+		}
+		share := nodeFlow[u] / float64(len(nextHops[u]))
+		for _, eid := range nextHops[u] {
+			frac[eid] += share
+			nodeFlow[g.edges[eid].To] += share
+		}
+	}
+	return frac, nil
+}
+
+// PathCount returns the number of distinct shortest paths from src to
+// dst (counting by DAG enumeration). Used by tests to confirm that
+// ECMP splitting actually encounters multipath cases.
+func (g *Graph) PathCount(src, dst int) (int, error) {
+	if src == dst {
+		return 0, nil
+	}
+	distFrom, err := g.Dijkstra(src)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(distFrom[dst], 1) {
+		return 0, nil
+	}
+	distTo, err := g.Reverse().Dijkstra(dst)
+	if err != nil {
+		return 0, err
+	}
+	total := distFrom[dst]
+	const eps = 1e-9
+
+	order := make([]int, 0, g.n)
+	for u := 0; u < g.n; u++ {
+		if !math.IsInf(distFrom[u], 1) {
+			order = append(order, u)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return distFrom[order[a]] < distFrom[order[b]] })
+
+	count := make([]int, g.n)
+	count[src] = 1
+	for _, u := range order {
+		if count[u] == 0 {
+			continue
+		}
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			if distFrom[e.From]+e.Weight+distTo[e.To] <= total+eps {
+				count[e.To] += count[u]
+			}
+		}
+	}
+	return count[dst], nil
+}

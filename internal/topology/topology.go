@@ -1,0 +1,202 @@
+// Package topology provides the network-graph substrate for the
+// TM-estimation experiments: weighted directed graphs, synthetic
+// PoP-level topology generators (ring-with-chords and Waxman), and
+// shortest-path machinery (Dijkstra with equal-cost multipath support,
+// plus Bellman-Ford used as a differential-testing oracle).
+package topology
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrGraph reports invalid graph construction or queries.
+var ErrGraph = errors.New("topology: invalid graph")
+
+// Edge is a directed link with an IGP-style additive weight.
+type Edge struct {
+	ID     int // dense index, assigned by the graph
+	From   int
+	To     int
+	Weight float64
+}
+
+// Graph is a directed weighted multigraph over nodes 0..n-1.
+// Use NewGraph then AddEdge/AddBiEdge.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int // node -> edge IDs leaving it
+}
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("topology: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// Edges returns the edge list (shared backing array; do not mutate).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts a directed edge and returns its ID. Weights must be
+// positive (Dijkstra requirement).
+func (g *Graph) AddEdge(from, to int, weight float64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, fmt.Errorf("%w: edge %d->%d outside [0,%d)", ErrGraph, from, to, g.n)
+	}
+	if from == to {
+		return 0, fmt.Errorf("%w: self-loop at %d", ErrGraph, from)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return 0, fmt.Errorf("%w: weight %g on %d->%d", ErrGraph, weight, from, to)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight})
+	g.adj[from] = append(g.adj[from], id)
+	return id, nil
+}
+
+// AddBiEdge inserts a symmetric pair of directed edges and returns their
+// IDs (forward, reverse).
+func (g *Graph) AddBiEdge(a, b int, weight float64) (int, int, error) {
+	f, err := g.AddEdge(a, b, weight)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := g.AddEdge(b, a, weight)
+	if err != nil {
+		return 0, 0, err
+	}
+	return f, r, nil
+}
+
+// OutEdges returns the IDs of edges leaving node u.
+func (g *Graph) OutEdges(u int) []int {
+	return g.adj[u]
+}
+
+// Connected reports whether every node is reachable from node 0
+// following directed edges (sufficient for our symmetric generators).
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.adj[u] {
+			v := g.edges[eid].To
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Dijkstra returns the shortest distances from src to every node
+// (math.Inf(1) for unreachable nodes).
+func (g *Graph) Dijkstra(src int) ([]float64, error) {
+	if src < 0 || src >= g.n {
+		return nil, fmt.Errorf("%w: source %d outside [0,%d)", ErrGraph, src, g.n)
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	done := make([]bool, g.n)
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		item := heap.Pop(q).(pqItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			if nd := dist[u] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// BellmanFord returns shortest distances from src, used as a slow oracle
+// in differential tests. All weights are positive by construction, so no
+// negative-cycle handling is needed.
+func (g *Graph) BellmanFord(src int) ([]float64, error) {
+	if src < 0 || src >= g.n {
+		return nil, fmt.Errorf("%w: source %d outside [0,%d)", ErrGraph, src, g.n)
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for round := 0; round < g.n; round++ {
+		changed := false
+		for _, e := range g.edges {
+			if dist[e.From]+e.Weight < dist[e.To] {
+				dist[e.To] = dist[e.From] + e.Weight
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, nil
+}
+
+// Reverse returns the graph with every edge direction flipped. Edge IDs
+// in the reversed graph match the original edge they came from.
+func (g *Graph) Reverse() *Graph {
+	r := NewGraph(g.n)
+	r.edges = make([]Edge, len(g.edges))
+	for _, e := range g.edges {
+		re := Edge{ID: e.ID, From: e.To, To: e.From, Weight: e.Weight}
+		r.edges[e.ID] = re
+		r.adj[re.From] = append(r.adj[re.From], e.ID)
+	}
+	return r
+}

@@ -1,0 +1,307 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// diamond returns the classic ECMP test graph:
+//
+//	0 -> 1 -> 3 and 0 -> 2 -> 3, all weights 1.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, _, err := g.AddBiEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if _, err := g.AddEdge(0, 3, 1); !errors.Is(err, ErrGraph) {
+		t.Error("out-of-range node must fail")
+	}
+	if _, err := g.AddEdge(0, 0, 1); !errors.Is(err, ErrGraph) {
+		t.Error("self-loop must fail")
+	}
+	if _, err := g.AddEdge(0, 1, 0); !errors.Is(err, ErrGraph) {
+		t.Error("zero weight must fail")
+	}
+	if _, err := g.AddEdge(0, 1, math.Inf(1)); !errors.Is(err, ErrGraph) {
+		t.Error("infinite weight must fail")
+	}
+	if _, err := g.AddEdge(0, 1, 2); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestDijkstraHandChecked(t *testing.T) {
+	// 0 -1-> 1 -1-> 2, plus direct 0 -5-> 2: shortest 0->2 is 2.
+	g := NewGraph(3)
+	_, _ = g.AddEdge(0, 1, 1)
+	_, _ = g.AddEdge(1, 2, 1)
+	_, _ = g.AddEdge(0, 2, 5)
+	dist, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %g, want %g", i, dist[i], w)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	_, _ = g.AddEdge(0, 1, 1)
+	dist, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[2], 1) {
+		t.Errorf("dist to unreachable = %g, want +Inf", dist[2])
+	}
+	if _, err := g.Dijkstra(7); !errors.Is(err, ErrGraph) {
+		t.Error("bad source must fail")
+	}
+}
+
+// Differential test: Dijkstra agrees with Bellman-Ford on random graphs.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := RingChords(15, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < g.N(); src += 3 {
+			d1, err := g.Dijkstra(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := g.BellmanFord(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range d1 {
+				if math.Abs(d1[v]-d2[v]) > 1e-9 {
+					t.Fatalf("seed %d src %d node %d: dijkstra %g vs bellman-ford %g",
+						seed, src, v, d1[v], d2[v])
+				}
+			}
+		}
+	}
+}
+
+// Triangle inequality property of shortest distances.
+func TestShortestDistanceTriangleInequality(t *testing.T) {
+	g, err := Waxman(20, 0.6, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	dist := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d, err := g.Dijkstra(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist[i] = d
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				if dist[a][b] > dist[a][c]+dist[c][b]+1e-9 {
+					t.Fatalf("triangle violated: d(%d,%d)=%g > %g+%g", a, b,
+						dist[a][b], dist[a][c], dist[c][b])
+				}
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewGraph(3)
+	id, _ := g.AddEdge(0, 1, 2)
+	r := g.Reverse()
+	e := r.Edges()[id]
+	if e.From != 1 || e.To != 0 || e.Weight != 2 {
+		t.Errorf("reversed edge = %+v", e)
+	}
+}
+
+func TestRingChordsConnectedDeterministic(t *testing.T) {
+	g1, err := RingChords(22, 14, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Connected() {
+		t.Error("ring+chords must be connected")
+	}
+	// Ring gives 2n directed edges; chords add 2*chords more.
+	if got := g1.NumEdges(); got != 2*22+2*14 {
+		t.Errorf("edges = %d, want %d", got, 2*22+2*14)
+	}
+	g2, err := RingChords(22, 14, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range g1.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatal("same seed must give identical topology")
+		}
+	}
+}
+
+func TestRingChordsRejectsTiny(t *testing.T) {
+	if _, err := RingChords(2, 0, 1); !errors.Is(err, ErrGraph) {
+		t.Error("n=2 ring must fail")
+	}
+}
+
+func TestWaxmanConnected(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := Waxman(23, 0.5, 0.3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("seed %d: Waxman graph disconnected", seed)
+		}
+		// Spanning tree alone is n-1 undirected links = 2(n-1) directed.
+		if g.NumEdges() < 2*(23-1) {
+			t.Fatalf("seed %d: too few edges (%d)", seed, g.NumEdges())
+		}
+	}
+}
+
+func TestWaxmanParamValidation(t *testing.T) {
+	if _, err := Waxman(1, 0.5, 0.3, 1); !errors.Is(err, ErrGraph) {
+		t.Error("n=1 must fail")
+	}
+	if _, err := Waxman(5, 0, 0.3, 1); !errors.Is(err, ErrGraph) {
+		t.Error("alpha=0 must fail")
+	}
+	if _, err := Waxman(5, 0.5, -1, 1); !errors.Is(err, ErrGraph) {
+		t.Error("beta<0 must fail")
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := diamond(t)
+	deg := DegreeSequence(g)
+	want := []int{2, 2, 2, 2}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("degree sequence = %v, want %v", deg, want)
+		}
+	}
+}
+
+func TestECMPDiamondSplitsEvenly(t *testing.T) {
+	g := diamond(t)
+	frac, err := g.ECMPFractions(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two equal-cost paths: each of the 4 on-path edges carries 1/2.
+	onPath := 0
+	for _, e := range g.Edges() {
+		f := frac[e.ID]
+		if f == 0 {
+			continue
+		}
+		onPath++
+		if math.Abs(f-0.5) > 1e-12 {
+			t.Errorf("edge %d->%d fraction = %g, want 0.5", e.From, e.To, f)
+		}
+	}
+	if onPath != 4 {
+		t.Errorf("on-path edges = %d, want 4", onPath)
+	}
+	if count, _ := g.PathCount(0, 3); count != 2 {
+		t.Errorf("PathCount = %d, want 2", count)
+	}
+}
+
+// Flow conservation property of ECMP fractions: net outflow is +1 at the
+// source, -1 at the destination, 0 elsewhere.
+func TestECMPFlowConservation(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := Waxman(18, 0.6, 0.4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < g.N(); src += 5 {
+			for dst := 0; dst < g.N(); dst += 3 {
+				if src == dst {
+					continue
+				}
+				frac, err := g.ECMPFractions(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				net := make([]float64, g.N())
+				for eid, f := range frac {
+					if f < 0 || f > 1+1e-9 {
+						t.Fatalf("fraction out of range: %g", f)
+					}
+					e := g.Edges()[eid]
+					net[e.From] += f
+					net[e.To] -= f
+				}
+				for u := 0; u < g.N(); u++ {
+					want := 0.0
+					if u == src {
+						want = 1
+					} else if u == dst {
+						want = -1
+					}
+					if math.Abs(net[u]-want) > 1e-9 {
+						t.Fatalf("seed %d pair (%d,%d): net flow at %d = %g, want %g",
+							seed, src, dst, u, net[u], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestECMPSelfPairEmpty(t *testing.T) {
+	g := diamond(t)
+	frac, err := g.ECMPFractions(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frac) != 0 {
+		t.Errorf("self pair fractions = %v, want empty", frac)
+	}
+}
+
+func TestECMPUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	_, _ = g.AddEdge(0, 1, 1)
+	if _, err := g.ECMPFractions(0, 2); !errors.Is(err, ErrGraph) {
+		t.Error("unreachable destination must fail")
+	}
+}
+
+func TestConnectedEmptyAndSingle(t *testing.T) {
+	if !NewGraph(0).Connected() {
+		t.Error("empty graph is vacuously connected")
+	}
+	if !NewGraph(1).Connected() {
+		t.Error("single-node graph is connected")
+	}
+	if NewGraph(2).Connected() {
+		t.Error("two isolated nodes are not connected")
+	}
+}
