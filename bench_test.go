@@ -72,6 +72,65 @@ func BenchmarkFig12EstStableFP(b *testing.B) { benchFigure(b, experiments.Fig12)
 // comparison (Fig. 13).
 func BenchmarkFig13EstStableF(b *testing.B) { benchFigure(b, experiments.Fig13) }
 
+// --- sequential-vs-parallel benchmarks of the concurrency layer ---
+//
+// The Workers option promises bit-identical results for any value, so
+// these pairs measure pure wall-clock: the speedup of the parallel
+// execution layer is benchmarked, not claimed.
+
+// benchRunAll regenerates every figure with the given worker bound.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := experiments.NewWorld(experiments.Config{Scale: benchScale, Workers: workers})
+		if _, err := experiments.RunAll(w, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllExperimentsSequential is the legacy path: one figure at
+// a time, one bin at a time.
+func BenchmarkRunAllExperimentsSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllExperimentsParallel fans figures and estimation bins
+// out over all CPUs.
+func BenchmarkRunAllExperimentsParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// benchEstimationWorkers sweeps one synthetic week through the gravity
+// pipeline with the given worker bound.
+func benchEstimationWorkers(b *testing.B, workers int) {
+	b.Helper()
+	d := benchSeries(b, 22, 112)
+	g, err := topology.Waxman(22, 0.6, 0.4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := estimation.NewSolver(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := EstimationOptions{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := estimation.RunWithSolver(solver, d.Series, GravityPrior{}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimationRunSequential estimates bins one at a time.
+func BenchmarkEstimationRunSequential(b *testing.B) { benchEstimationWorkers(b, 1) }
+
+// BenchmarkEstimationRunParallel estimates bins on all CPUs.
+func BenchmarkEstimationRunParallel(b *testing.B) { benchEstimationWorkers(b, 0) }
+
 // --- micro-benchmarks of the hot kernels ---
 
 func benchSeries(b *testing.B, n, bins int) *Dataset {

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	icest -scenario geant -weeks 2 -scale 0.1
+//	icest -scenario geant -weeks 2 -scale 0.1 -workers 0
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ictm/internal/estimation"
@@ -23,15 +25,32 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "icest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("icest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenario  = flag.String("scenario", "geant", `preset: "geant" or "totem"`)
-		weeks     = flag.Int("weeks", 2, "weeks to generate (week 0 calibrates, week 1 is estimated)")
-		scale     = flag.Float64("scale", 0.25, "bins-per-week scale factor (1 = full paper scale)")
-		seed      = flag.Uint64("seed", 0, "override scenario seed (0 = preset default)")
-		weighted  = flag.Bool("weighted", false, "use prior-weighted tomogravity (slower)")
-		linkNoise = flag.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
+		scenario  = fs.String("scenario", "geant", `preset: "geant" or "totem"`)
+		weeks     = fs.Int("weeks", 2, "weeks to generate (week 0 calibrates, week 1 is estimated)")
+		scale     = fs.Float64("scale", 0.25, "bins-per-week scale factor (1 = full paper scale)")
+		seed      = fs.Uint64("seed", 0, "override scenario seed (0 = preset default)")
+		weighted  = fs.Bool("weighted", false, "use prior-weighted tomogravity (slower)")
+		linkNoise = fs.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
+		workers   = fs.Int("workers", 0, "concurrent estimation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	var sc synth.Scenario
 	switch *scenario {
@@ -40,10 +59,10 @@ func main() {
 	case "totem":
 		sc = synth.TotemLike()
 	default:
-		fatalf("unknown scenario %q", *scenario)
+		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	if *weeks < 2 {
-		fatalf("need at least 2 weeks (calibration + target)")
+		return fmt.Errorf("need at least 2 weeks (calibration + target)")
 	}
 	sc.Weeks = *weeks
 	if *seed != 0 {
@@ -55,46 +74,46 @@ func main() {
 	}
 	sc.BinsPerWeek = perDay * 7
 
-	fmt.Fprintf(os.Stderr, "icest: generating %s (n=%d, %d bins/week, %d weeks)\n",
+	fmt.Fprintf(stderr, "icest: generating %s (n=%d, %d bins/week, %d weeks)\n",
 		sc.Name, sc.N, sc.BinsPerWeek, sc.Weeks)
 	d, err := synth.Generate(sc)
 	if err != nil {
-		fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
 	calib, err := d.Week(0)
 	if err != nil {
-		fatalf("week 0: %v", err)
+		return fmt.Errorf("week 0: %w", err)
 	}
 	target, err := d.Week(1)
 	if err != nil {
-		fatalf("week 1: %v", err)
+		return fmt.Errorf("week 1: %w", err)
 	}
 
-	fmt.Fprintln(os.Stderr, "icest: fitting calibration week (stable-fP)")
+	fmt.Fprintln(stderr, "icest: fitting calibration week (stable-fP)")
 	calibFit, err := fit.StableFP(calib, fit.Options{})
 	if err != nil {
-		fatalf("calibration fit: %v", err)
+		return fmt.Errorf("calibration fit: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "icest: fitting target week (for the all-measured prior)")
+	fmt.Fprintln(stderr, "icest: fitting target week (for the all-measured prior)")
 	targetFit, err := fit.StableFP(target, fit.Options{})
 	if err != nil {
-		fatalf("target fit: %v", err)
+		return fmt.Errorf("target fit: %w", err)
 	}
 
 	g, err := topology.Waxman(sc.N, 0.6, 0.4, sc.Seed)
 	if err != nil {
-		fatalf("topology: %v", err)
+		return fmt.Errorf("topology: %w", err)
 	}
 	rm, err := routing.Build(g)
 	if err != nil {
-		fatalf("routing: %v", err)
+		return fmt.Errorf("routing: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "icest: topology has %d directed links, %d measurement rows\n",
+	fmt.Fprintf(stderr, "icest: topology has %d directed links, %d measurement rows\n",
 		rm.L, rm.Rows())
 
 	fanout, err := estimation.NewFanoutPrior(calib)
 	if err != nil {
-		fatalf("fanout calibration: %v", err)
+		return fmt.Errorf("fanout calibration: %w", err)
 	}
 	priors := []estimation.Prior{
 		estimation.GravityPrior{},
@@ -107,24 +126,31 @@ func main() {
 		Weighted:       *weighted,
 		LinkNoiseSigma: *linkNoise,
 		NoiseSeed:      sc.Seed,
+		Workers:        *workers,
 	}
-	results, err := estimation.Compare(rm, target, priors, opts)
+	results, runStats, err := estimation.CompareStats(rm, target, priors, opts)
 	if err != nil {
-		fatalf("estimation: %v", err)
+		return err
 	}
 
-	grav := results["gravity"]
-	fmt.Printf("%-14s %-12s %-12s %-12s\n", "prior", "mean RelL2", "p95 RelL2", "vs gravity")
+	gravMean, _ := stats.FiniteMean(results["gravity"])
+	fmt.Fprintf(stdout, "%-14s %-12s %-12s %-12s %s\n", "prior", "mean RelL2", "p95 RelL2", "vs gravity", "IPF non-conv")
 	for _, p := range priors {
 		errs := results[p.Name()]
+		rs := runStats[p.Name()]
 		p95, _ := stats.Quantile(errs, 0.95)
-		imp := 100 * (stats.Mean(grav) - stats.Mean(errs)) / stats.Mean(grav)
-		fmt.Printf("%-14s %-12.4f %-12.4f %+.1f%%\n", p.Name(), stats.Mean(errs), p95, imp)
+		mean, dropped := stats.FiniteMean(errs)
+		imp := 0.0
+		if gravMean != 0 {
+			imp = 100 * (gravMean - mean) / gravMean
+		}
+		fmt.Fprintf(stdout, "%-14s %-12.4f %-12.4f %+-12.1f %d/%d\n",
+			p.Name(), mean, p95, imp, rs.IPFNonConverged, rs.Bins)
+		if dropped > 0 {
+			fmt.Fprintf(stderr, "icest: prior %q: %d non-finite error bins excluded from the mean\n",
+				p.Name(), dropped)
+		}
 	}
-	fmt.Printf("calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "icest: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)
+	return nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out, &errBuf); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if err := run([]string{"-weeks", "1"}, &out, &errBuf); err == nil {
+		t.Error("fewer than 2 weeks must fail")
+	}
+}
+
+// TestRunTinyEndToEnd drives the full comparison at the smallest usable
+// scale and checks the report covers every prior plus IPF diagnostics.
+func TestRunTinyEndToEnd(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scale", "0.01", "-weeks", "2"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"gravity", "fanout", "ic-optimal", "ic-stable-fP", "ic-stable-f", "IPF non-conv", "calibrated f"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestRunWorkersIdenticalReports: the -workers flag must not change the
+// printed numbers. (The bitwise contract is also asserted at library
+// level in internal/estimation; this covers the CLI wiring.)
+func TestRunWorkersIdenticalReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full comparison runs")
+	}
+	var seq, par, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.01", "-workers", "1", "-linknoise", "0.05"}, &seq, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.01", "-workers", "8", "-linknoise", "0.05"}, &par, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("reports differ between -workers 1 and 8:\n--- seq\n%s\n--- par\n%s", seq.String(), par.String())
+	}
+}

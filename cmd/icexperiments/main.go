@@ -7,13 +7,16 @@
 //
 //	icexperiments                  # full paper scale (minutes)
 //	icexperiments -scale 0.1      # quick pass
+//	icexperiments -workers 1      # force the sequential path (same output)
 //	icexperiments -fig fig3       # one figure
 //	icexperiments -fig fig4 -csv  # dump the figure's series as CSV
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ictm/internal/experiments"
@@ -21,49 +24,67 @@ import (
 )
 
 func main() {
-	var (
-		scale    = flag.Float64("scale", 1, "bins-per-week scale factor (1 = full paper scale)")
-		fig      = flag.String("fig", "", "run a single figure (fig2..fig13); empty = all")
-		csv      = flag.Bool("csv", false, "dump series as CSV instead of summaries")
-		check    = flag.Bool("check", false, "validate the DESIGN.md shape targets and exit non-zero on violation")
-		markdown = flag.Bool("markdown", false, "emit a Markdown reproduction report (all figures)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "icexperiments: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	world := experiments.NewWorld(experiments.Config{Scale: *scale})
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("icexperiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale    = fs.Float64("scale", 1, "bins-per-week scale factor (1 = full paper scale)")
+		fig      = fs.String("fig", "", "run a single figure (fig2..fig13); empty = all")
+		csv      = fs.Bool("csv", false, "dump series as CSV instead of summaries")
+		check    = fs.Bool("check", false, "validate the DESIGN.md shape targets and exit non-zero on violation")
+		markdown = fs.Bool("markdown", false, "emit a Markdown reproduction report (all figures)")
+		workers  = fs.Int("workers", 0, "concurrent figure/estimation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+
+	world := experiments.NewWorld(experiments.Config{Scale: *scale, Workers: *workers})
 
 	if *check {
 		if err := experiments.CheckAll(world); err != nil {
-			fatalf("shape check failed: %v", err)
+			return fmt.Errorf("shape check failed: %w", err)
 		}
-		fmt.Println("icexperiments: all shape targets hold")
-		return
+		fmt.Fprintln(stdout, "icexperiments: all shape targets hold")
+		return nil
 	}
 
 	if *markdown {
 		results, err := experiments.RunAll(world, nil)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		if err := report.Write(os.Stdout, results); err != nil {
-			fatalf("report: %v", err)
-		}
-		return
+		return report.Write(stdout, results)
 	}
 
 	if *fig == "" {
-		results, err := experiments.RunAll(world, pick(!*csv))
+		var live io.Writer
+		if !*csv {
+			live = stdout
+		}
+		results, err := experiments.RunAll(world, live)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if *csv {
 			for _, r := range results {
-				if err := r.WriteCSV(os.Stdout); err != nil {
-					fatalf("csv: %v", err)
+				if err := r.WriteCSV(stdout); err != nil {
+					return fmt.Errorf("csv: %w", err)
 				}
 			}
 		}
-		return
+		return nil
 	}
 
 	for _, r := range experiments.All() {
@@ -72,29 +93,16 @@ func main() {
 		}
 		res, err := r.Run(world)
 		if err != nil {
-			fatalf("%s: %v", r.ID, err)
+			return fmt.Errorf("%s: %w", r.ID, err)
 		}
 		if *csv {
-			if err := res.WriteCSV(os.Stdout); err != nil {
-				fatalf("csv: %v", err)
+			if err := res.WriteCSV(stdout); err != nil {
+				return fmt.Errorf("csv: %w", err)
 			}
 		} else {
-			res.Print(os.Stdout, false)
+			res.Print(stdout, false)
 		}
-		return
+		return nil
 	}
-	fatalf("unknown figure %q (want fig2..fig13)", *fig)
-}
-
-// pick returns stdout when live printing is wanted, nil otherwise.
-func pick(live bool) *os.File {
-	if live {
-		return os.Stdout
-	}
-	return nil
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "icexperiments: "+format+"\n", args...)
-	os.Exit(1)
+	return fmt.Errorf("unknown figure %q (want fig2..fig13)", *fig)
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-zzz"}, &out, &errBuf); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-fig", "fig99", "-scale", "0.02"}, &out, &errBuf); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "fig2", "-scale", "0.02"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig2") {
+		t.Errorf("summary missing figure id:\n%s", out.String())
+	}
+}
+
+func TestRunSingleFigureCSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "fig2", "-scale", "0.02", "-csv"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "fig2,") {
+		t.Errorf("CSV rows should start with the figure id, got %q", first)
+	}
+}
+
+// TestRunAllFiguresWorkers drives the full regeneration end to end at
+// tiny scale, and checks the parallel and sequential paths emit the same
+// report.
+func TestRunAllFiguresWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	var seq, par, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-workers", "1"}, &seq, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.02", "-workers", "0"}, &par, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Error("reports differ between -workers 1 and -workers 0")
+	}
+	for _, id := range []string{"fig2", "fig7", "fig13"} {
+		if !strings.Contains(seq.String(), "== "+id) {
+			t.Errorf("report missing %s", id)
+		}
+	}
+}

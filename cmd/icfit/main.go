@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,27 +22,43 @@ import (
 )
 
 func main() {
-	var (
-		in      = flag.String("in", "-", `input CSV ("-" = stdin)`)
-		variant = flag.String("variant", "stable-fp", "model variant: stable-fp, stable-f, time-varying")
-		f0      = flag.Float64("f0", 0.25, "initial forward ratio")
-		fixF    = flag.Bool("fixf", false, "pin f at -f0 instead of fitting it")
-		binSec  = flag.Int("binsec", 300, "bin length in seconds (metadata only)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "icfit: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	var r io.Reader = os.Stdin
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("icfit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "-", `input CSV ("-" = stdin)`)
+		variant = fs.String("variant", "stable-fp", "model variant: stable-fp, stable-f, time-varying")
+		f0      = fs.Float64("f0", 0.25, "initial forward ratio")
+		fixF    = fs.Bool("fixf", false, "pin f at -f0 instead of fitting it")
+		binSec  = fs.Int("binsec", 300, "bin length in seconds (metadata only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+
+	r := stdin
 	if *in != "-" {
 		file, err := os.Open(*in)
 		if err != nil {
-			fatalf("open %s: %v", *in, err)
+			return fmt.Errorf("open %s: %w", *in, err)
 		}
 		defer file.Close()
 		r = file
 	}
 	series, err := tm.ReadCSV(r, *binSec)
 	if err != nil {
-		fatalf("read series: %v", err)
+		return fmt.Errorf("read series: %w", err)
 	}
 
 	opts := fit.Options{F0: *f0, FixF: *fixF}
@@ -54,48 +71,46 @@ func main() {
 	case "time-varying":
 		res, err = fit.TimeVarying(series, opts)
 	default:
-		fatalf("unknown variant %q", *variant)
+		return fmt.Errorf("unknown variant %q", *variant)
 	}
 	if err != nil {
-		fatalf("fit: %v", err)
+		return fmt.Errorf("fit: %w", err)
 	}
 
 	gravEst, err := gravity.EstimateSeries(series)
 	if err != nil {
-		fatalf("gravity: %v", err)
+		return fmt.Errorf("gravity: %w", err)
 	}
 	gravErrs, err := tm.RelL2Series(series, gravEst)
 	if err != nil {
-		fatalf("gravity errors: %v", err)
+		return fmt.Errorf("gravity errors: %w", err)
 	}
 	icErrs, err := fit.RelL2PerBin(res, series)
 	if err != nil {
-		fatalf("ic errors: %v", err)
+		return fmt.Errorf("ic errors: %w", err)
 	}
 	imp, err := tm.ImprovementSeries(gravErrs, icErrs)
 	if err != nil {
-		fatalf("improvement: %v", err)
+		return fmt.Errorf("improvement: %w", err)
 	}
 
-	fmt.Printf("variant            %s\n", res.Params.Variant)
-	fmt.Printf("nodes x bins       %d x %d\n", series.N(), series.Len())
-	fmt.Printf("iterations         %d\n", res.Iterations)
+	gravMean, _ := stats.FiniteMean(gravErrs)
+	impMean, _ := stats.FiniteMean(imp)
+	fmt.Fprintf(stdout, "variant            %s\n", res.Params.Variant)
+	fmt.Fprintf(stdout, "nodes x bins       %d x %d\n", series.N(), series.Len())
+	fmt.Fprintf(stdout, "iterations         %d\n", res.Iterations)
 	if res.Params.Variant.String() != "time-varying" {
-		fmt.Printf("fitted f           %.4f\n", res.Params.F)
+		fmt.Fprintf(stdout, "fitted f           %.4f\n", res.Params.F)
 	}
-	fmt.Printf("mean RelL2 (IC)    %.4f\n", res.MeanRelL2)
-	fmt.Printf("mean RelL2 (grav)  %.4f\n", stats.Mean(gravErrs))
-	fmt.Printf("mean improvement   %.1f%%\n", stats.Mean(imp))
+	fmt.Fprintf(stdout, "mean RelL2 (IC)    %.4f\n", res.MeanRelL2)
+	fmt.Fprintf(stdout, "mean RelL2 (grav)  %.4f\n", gravMean)
+	fmt.Fprintf(stdout, "mean improvement   %.1f%%\n", impMean)
 	if res.Params.Pref != nil {
-		fmt.Printf("preferences        ")
+		fmt.Fprintf(stdout, "preferences        ")
 		for _, p := range res.Params.Pref {
-			fmt.Printf("%.4f ", p)
+			fmt.Fprintf(stdout, "%.4f ", p)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "icfit: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

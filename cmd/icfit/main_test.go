@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ictm/internal/synth"
+)
+
+// genCSV produces a small series in the icgen CSV format via the synth
+// package directly (the real end-to-end pipe is icgen | icfit).
+func genCSV(t *testing.T) string {
+	t.Helper()
+	sc := synth.GeantLike()
+	sc.N = 4
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	sc.Seed = 5
+	d, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Series.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-variant", "bogus"}, strings.NewReader(genCSV(t)), &out, &errBuf); err == nil {
+		t.Error("unknown variant must fail")
+	}
+	if err := run([]string{"-in", "/no/such/file.csv"}, strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Error("missing input file must fail")
+	}
+}
+
+func TestRunEndToEndVariants(t *testing.T) {
+	csv := genCSV(t)
+	for _, variant := range []string{"stable-fp", "stable-f", "time-varying"} {
+		var out, errBuf bytes.Buffer
+		if err := run([]string{"-variant", variant}, strings.NewReader(csv), &out, &errBuf); err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if !strings.Contains(out.String(), "mean RelL2 (IC)") {
+			t.Errorf("%s: report missing fit error:\n%s", variant, out.String())
+		}
+		if !strings.Contains(out.String(), "4 x 14") {
+			t.Errorf("%s: report missing shape:\n%s", variant, out.String())
+		}
+	}
+}
+
+func TestRunGarbageInput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, strings.NewReader("this,is,not\na,tm,csv\n"), &out, &errBuf); err == nil {
+		t.Error("malformed CSV must fail")
+	}
+}

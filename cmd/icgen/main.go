@@ -13,8 +13,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ictm/internal/synth"
@@ -23,22 +25,38 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "icgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("icgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenario = flag.String("scenario", "", `preset: "geant" or "totem" (empty = custom)`)
-		n        = flag.Int("n", 12, "custom: number of access points")
-		bins     = flag.Int("bins", 672, "custom: bins per week")
-		weeks    = flag.Int("weeks", 1, "number of weeks to generate (presets are truncated/extended)")
-		f        = flag.Float64("f", 0.25, "custom: mean forward ratio")
-		seed     = flag.Uint64("seed", 1, "custom: random seed")
-		pure     = flag.Bool("pure", false, "generate exactly IC-structured matrices (the paper's §5.5 recipe) instead of noisy evaluation ground truth")
-		format   = flag.String("format", "csv", `output format: "csv" or "json"`)
-		out      = flag.String("out", "-", `output file ("-" = stdout)`)
+		scenario = fs.String("scenario", "", `preset: "geant" or "totem" (empty = custom)`)
+		n        = fs.Int("n", 12, "custom: number of access points")
+		bins     = fs.Int("bins", 672, "custom: bins per week")
+		weeks    = fs.Int("weeks", 1, "number of weeks to generate (presets are truncated/extended)")
+		f        = fs.Float64("f", 0.25, "custom: mean forward ratio")
+		seed     = fs.Uint64("seed", 1, "custom: random seed")
+		pure     = fs.Bool("pure", false, "generate exactly IC-structured matrices (the paper's §5.5 recipe) instead of noisy evaluation ground truth")
+		format   = fs.String("format", "csv", `output format: "csv" or "json"`)
+		out      = fs.String("out", "-", `output file ("-" = stdout)`)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	if *pure {
 		if *scenario != "" {
-			fatalf("-pure is incompatible with -scenario presets")
+			return fmt.Errorf("-pure is incompatible with -scenario presets")
 		}
 		recipe := tmgen.Recipe{
 			N:          *n,
@@ -49,11 +67,13 @@ func main() {
 		}
 		_, series, err := tmgen.Generate(recipe)
 		if err != nil {
-			fatalf("generate recipe: %v", err)
+			return fmt.Errorf("generate recipe: %w", err)
 		}
-		writeSeries(series, *format, *out)
-		fmt.Fprintf(os.Stderr, "icgen: pure recipe: n=%d bins=%d written\n", series.N(), series.Len())
-		return
+		if err := writeSeries(series, *format, *out, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "icgen: pure recipe: n=%d bins=%d written\n", series.N(), series.Len())
+		return nil
 	}
 
 	var sc synth.Scenario
@@ -70,7 +90,7 @@ func main() {
 		sc.F = *f
 		sc.Seed = *seed
 	default:
-		fatalf("unknown scenario %q (want geant, totem, or empty)", *scenario)
+		return fmt.Errorf("unknown scenario %q (want geant, totem, or empty)", *scenario)
 	}
 	if *weeks > 0 {
 		sc.Weeks = *weeks
@@ -78,25 +98,28 @@ func main() {
 
 	d, err := synth.Generate(sc)
 	if err != nil {
-		fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
-	writeSeries(d.Series, *format, *out)
-	fmt.Fprintf(os.Stderr, "icgen: %s: n=%d bins=%d total=%d written\n",
+	if err := writeSeries(d.Series, *format, *out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "icgen: %s: n=%d bins=%d total=%d written\n",
 		sc.Name, d.Series.N(), d.Series.Len(), d.Series.N()*d.Series.N()*d.Series.Len())
+	return nil
 }
 
 // writeSeries emits the series in the requested format to the file (or
 // stdout for "-").
-func writeSeries(series *tm.Series, format, out string) {
-	w := os.Stdout
+func writeSeries(series *tm.Series, format, out string, stdout io.Writer) (err error) {
+	w := stdout
 	if out != "-" {
-		file, err := os.Create(out)
-		if err != nil {
-			fatalf("create %s: %v", out, err)
+		file, cerr := os.Create(out)
+		if cerr != nil {
+			return fmt.Errorf("create %s: %w", out, cerr)
 		}
 		defer func() {
-			if err := file.Close(); err != nil {
-				fatalf("close %s: %v", out, err)
+			if cerr := file.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", out, cerr)
 			}
 		}()
 		w = file
@@ -104,16 +127,17 @@ func writeSeries(series *tm.Series, format, out string) {
 	switch format {
 	case "csv":
 		if err := series.WriteCSV(w); err != nil {
-			fatalf("write csv: %v", err)
+			return fmt.Errorf("write csv: %w", err)
 		}
 	case "json":
 		enc := json.NewEncoder(w)
 		if err := enc.Encode(series); err != nil {
-			fatalf("write json: %v", err)
+			return fmt.Errorf("write json: %w", err)
 		}
 	default:
-		fatalf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", format)
 	}
+	return nil
 }
 
 func maxInt(a, b int) int {
@@ -121,9 +145,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "icgen: "+format+"\n", args...)
-	os.Exit(1)
 }

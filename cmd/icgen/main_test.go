@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errBuf); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out, &errBuf); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if err := run([]string{"-format", "xml"}, &out, &errBuf); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if err := run([]string{"-pure", "-scenario", "geant"}, &out, &errBuf); err == nil {
+		t.Error("-pure with a preset must fail")
+	}
+}
+
+func TestRunTinyCSVToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-n", "4", "-bins", "14", "-weeks", "1", "-seed", "3"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header plus 14 bins x 16 pairs.
+	if len(lines) != 1+14*16 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+14*16)
+	}
+	if !strings.Contains(errBuf.String(), "custom") {
+		t.Errorf("progress log missing scenario name: %q", errBuf.String())
+	}
+}
+
+func TestRunJSONToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tm.json")
+	var out, errBuf bytes.Buffer
+	args := []string{"-n", "3", "-bins", "7", "-format", "json", "-out", path}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("file output should not write to stdout")
+	}
+}
+
+func TestRunPureRecipe(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-pure", "-n", "4", "-bins", "14"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("pure recipe wrote no CSV")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b, errBuf bytes.Buffer
+	args := []string{"-n", "4", "-bins", "14", "-seed", "9"}
+	if err := run(args, &a, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different CSV output")
+	}
+}

@@ -9,22 +9,40 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ictm/internal/packet"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ictrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ictrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		duration = flag.Float64("duration", 7200, "trace duration in seconds")
-		rate     = flag.Float64("rate", 4, "connections per second per side")
-		binSec   = flag.Float64("bin", 300, "analysis bin length in seconds")
-		preexist = flag.Float64("preexisting", 0.06, "fraction of connections starting before the trace")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		duration = fs.Float64("duration", 7200, "trace duration in seconds")
+		rate     = fs.Float64("rate", 4, "connections per second per side")
+		binSec   = fs.Float64("bin", 300, "analysis bin length in seconds")
+		preexist = fs.Float64("preexisting", 0.06, "fraction of connections starting before the trace")
+		seed     = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
 
 	cfg := packet.TraceConfig{
 		Duration:            *duration,
@@ -34,16 +52,16 @@ func main() {
 	}
 	tr, err := packet.GenerateBidirectional(cfg)
 	if err != nil {
-		fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "ictrace: %d + %d flow records\n", len(tr.AB), len(tr.BA))
+	fmt.Fprintf(stderr, "ictrace: %d + %d flow records\n", len(tr.AB), len(tr.BA))
 
 	fAB, fBA, unknown, err := packet.AnalyzeTrace(tr, cfg.Duration, *binSec)
 	if err != nil {
-		fatalf("analyze: %v", err)
+		return fmt.Errorf("analyze: %w", err)
 	}
 
-	fmt.Printf("%-6s %-10s %-10s\n", "bin", "f A->B", "f B->A")
+	fmt.Fprintf(stdout, "%-6s %-10s %-10s\n", "bin", "f A->B", "f B->A")
 	for i := range fAB {
 		ab, ba := "-", "-"
 		if fAB[i].Valid {
@@ -52,19 +70,15 @@ func main() {
 		if fBA[i].Valid {
 			ba = fmt.Sprintf("%.4f", fBA[i].F)
 		}
-		fmt.Printf("%-6d %-10s %-10s\n", i, ab, ba)
+		fmt.Fprintf(stdout, "%-6d %-10s %-10s\n", i, ab, ba)
 	}
 	trueA, trueB := tr.TrueF()
-	fmt.Printf("\nground truth: f(A-initiated) = %.4f, f(B-initiated) = %.4f\n", trueA, trueB)
-	fmt.Printf("unknown traffic fraction: %.1f%%\n", 100*unknown)
+	fmt.Fprintf(stdout, "\nground truth: f(A-initiated) = %.4f, f(B-initiated) = %.4f\n", trueA, trueB)
+	fmt.Fprintf(stdout, "unknown traffic fraction: %.1f%%\n", 100*unknown)
 	mix, err := packet.MixForwardRatio(packet.DefaultMix())
 	if err != nil {
-		fatalf("mix: %v", err)
+		return fmt.Errorf("mix: %w", err)
 	}
-	fmt.Printf("mix-implied aggregate f: %.4f\n", mix)
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "ictrace: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "mix-implied aggregate f: %.4f\n", mix)
+	return nil
 }

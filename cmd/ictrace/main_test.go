@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-not-a-flag"}, &out, &errBuf); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-duration", "-5"}, &out, &errBuf); err == nil {
+		t.Error("negative duration must fail")
+	}
+}
+
+func TestRunTinyEndToEnd(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-duration", "600", "-rate", "2", "-bin", "300", "-seed", "4"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"f A->B", "ground truth", "unknown traffic fraction", "mix-implied aggregate f"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "flow records") {
+		t.Errorf("progress log missing record counts: %q", errBuf.String())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b, errBuf bytes.Buffer
+	args := []string{"-duration", "600", "-rate", "2", "-seed", "7"}
+	if err := run(args, &a, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different analyses")
+	}
+}

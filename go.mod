@@ -1,0 +1,3 @@
+module ictm
+
+go 1.24

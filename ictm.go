@@ -80,6 +80,10 @@ func NewTMSeries(n, binSeconds int) *TMSeries { return tm.NewSeries(n, binSecond
 // RelL2 is the paper's per-bin relative L2 error metric (eq. 6).
 func RelL2(truth, est *TrafficMatrix) (float64, error) { return tm.RelL2(truth, est) }
 
+// ErrZeroTruth reports a relative error against an all-zero true matrix
+// with a non-zero estimate (the metric is undefined).
+var ErrZeroTruth = tm.ErrZeroTruth
+
 // Closed-form estimators (eqs. 8, 11-12).
 var (
 	// ActivityFromMarginals recovers activities from node totals given
@@ -183,8 +187,12 @@ type (
 	// FanoutPrior is the choice-model baseline (calibrated per-origin
 	// destination shares).
 	FanoutPrior = estimation.FanoutPrior
-	// EstimationOptions tune the pipeline.
+	// EstimationOptions tune the pipeline. Its Workers field bounds the
+	// per-bin (and, in Compare, per-prior) fan-out: 0 = GOMAXPROCS,
+	// 1 = sequential; results are bit-identical for every value.
 	EstimationOptions = estimation.Options
+	// EstimationRunStats aggregates per-run IPF diagnostics.
+	EstimationRunStats = estimation.RunStats
 )
 
 // NewFanoutPrior calibrates a fanout prior from a historical series.
@@ -195,8 +203,14 @@ func EstimateTMs(rm *RoutingMatrix, truth *TMSeries, prior Prior, opts Estimatio
 	return estimation.Run(rm, truth, prior, opts)
 }
 
-// IPF rescales a matrix to the given row/column totals (step 3).
+// IPF rescales a matrix to the given row/column totals (step 3). On
+// non-convergence it returns an error wrapping ErrIPFNoConverge; the
+// matrix still holds the last sweep's state.
 var IPF = estimation.IPF
+
+// ErrIPFNoConverge reports that IPF exhausted its sweep budget before
+// reaching tolerance.
+var ErrIPFNoConverge = estimation.ErrIPFNoConverge
 
 // Packet traces (the D3 stand-in).
 type (
@@ -244,7 +258,10 @@ type (
 )
 
 // RunAllExperiments regenerates every figure of the paper at the given
-// scale, writing a report to out (nil for silent).
+// scale, writing a report to out (nil for silent). Figures and the
+// estimation bins inside them run concurrently under cfg.Workers
+// (0 = GOMAXPROCS, 1 = sequential) with bit-identical results for any
+// worker count.
 func RunAllExperiments(cfg ExperimentConfig, out io.Writer) ([]*ExperimentResult, error) {
 	return experiments.RunAll(experiments.NewWorld(cfg), out)
 }

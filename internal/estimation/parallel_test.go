@@ -1,0 +1,185 @@
+package estimation
+
+import (
+	"errors"
+	"testing"
+
+	"ictm/internal/tm"
+)
+
+// TestRunWithSolverWorkersBitIdentical is the determinism contract of the
+// parallel estimation path: for any worker count the estimated series and
+// error vector must be bit-identical to the sequential (workers=1) run,
+// including under link noise — the noise stream is keyed per bin, not
+// consumed across bins.
+func TestRunWithSolverWorkersBitIdentical(t *testing.T) {
+	rm, truth, _ := fixture(t, 9, 12, 0.15, 31)
+	solver, err := NewSolver(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noise := range []float64{0, 0.1} {
+		base := Options{LinkNoiseSigma: noise, NoiseSeed: 5, Workers: 1}
+		seqEst, seqErrs, err := RunWithSolver(solver, truth, GravityPrior{}, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8, 0} {
+			opts := base
+			opts.Workers = workers
+			parEst, parErrs, err := RunWithSolver(solver, truth, GravityPrior{}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range seqErrs {
+				if seqErrs[i] != parErrs[i] {
+					t.Fatalf("noise=%g workers=%d: error[%d] = %g, sequential %g",
+						noise, workers, i, parErrs[i], seqErrs[i])
+				}
+			}
+			for b := 0; b < seqEst.Len(); b++ {
+				sv, pv := seqEst.At(b).Vec(), parEst.At(b).Vec()
+				for k := range sv {
+					if sv[k] != pv[k] {
+						t.Fatalf("noise=%g workers=%d: bin %d entry %d differs: %g vs %g",
+							noise, workers, b, k, pv[k], sv[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompareWorkersBitIdentical checks the per-prior parallel sweep
+// against the sequential one.
+func TestCompareWorkersBitIdentical(t *testing.T) {
+	rm, truth, sp := fixture(t, 9, 6, 0.15, 32)
+	priors := []Prior{
+		GravityPrior{},
+		&StableFPPrior{F: sp.F, Pref: sp.Pref},
+		&StableFPrior{F: sp.F},
+	}
+	base := Options{LinkNoiseSigma: 0.05, NoiseSeed: 3, Workers: 1}
+	seq, err := Compare(rm, truth, priors, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8 := base
+	par8.Workers = 8
+	par, err := Compare(rm, truth, priors, par8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, se := range seq {
+		pe, ok := par[name]
+		if !ok {
+			t.Fatalf("prior %q missing from parallel result", name)
+		}
+		for i := range se {
+			if se[i] != pe[i] {
+				t.Fatalf("prior %q bin %d: %g vs sequential %g", name, i, pe[i], se[i])
+			}
+		}
+	}
+}
+
+// TestIPFNonConvergenceSentinel: a single sweep on incompatible-shaped
+// mass cannot reach a tight tolerance, and the shortfall must be reported
+// as ErrIPFNoConverge rather than a silent success.
+func TestIPFNonConvergenceSentinel(t *testing.T) {
+	x := tm.New(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, float64(1+i*3+j))
+		}
+	}
+	rows := []float64{30, 1, 1}
+	cols := []float64{1, 1, 30}
+	iters, err := IPF(x, rows, cols, 1e-12, 1)
+	if !errors.Is(err, ErrIPFNoConverge) {
+		t.Fatalf("IPF with 1 sweep returned (%d, %v), want ErrIPFNoConverge", iters, err)
+	}
+	if iters != 1 {
+		t.Errorf("sweep count %d, want 1", iters)
+	}
+}
+
+// TestEstimateBinSurfacesIPFDiag: non-convergence must not fail the bin;
+// it must surface in BinDiag and aggregate into RunStats.
+func TestEstimateBinSurfacesIPFDiag(t *testing.T) {
+	rm, truth, _ := fixture(t, 8, 4, 0.2, 33)
+	solver, err := NewSolver(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sweep with an extreme tolerance cannot converge on noisy bins.
+	opts := Options{IPFTol: 1e-15, IPFMaxIter: 1}
+	y, err := rm.LinkLoads(truth.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, diag, err := EstimateBin(solver, GravityPrior{}, 0, y, opts)
+	if err != nil {
+		t.Fatalf("non-convergence must not fail the bin: %v", err)
+	}
+	if est == nil {
+		t.Fatal("estimate dropped")
+	}
+	if diag.IPFConverged {
+		t.Error("diag should report non-convergence")
+	}
+	if diag.IPFSweeps != 1 {
+		t.Errorf("diag sweeps = %d, want 1", diag.IPFSweeps)
+	}
+
+	_, _, stats, err := RunWithSolverStats(solver, truth, GravityPrior{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bins != truth.Len() {
+		t.Errorf("stats.Bins = %d, want %d", stats.Bins, truth.Len())
+	}
+	if stats.IPFNonConverged == 0 {
+		t.Error("RunStats should count IPF non-convergences")
+	}
+	if stats.IPFSweepsTotal < stats.IPFNonConverged {
+		t.Errorf("sweep total %d inconsistent with %d non-converged bins",
+			stats.IPFSweepsTotal, stats.IPFNonConverged)
+	}
+}
+
+// TestRunStatsConvergedRun: on a well-conditioned run every bin converges
+// and the stats must say so.
+func TestRunStatsConvergedRun(t *testing.T) {
+	rm, truth, _ := fixture(t, 8, 3, 0.1, 34)
+	solver, err := NewSolver(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats, err := RunWithSolverStats(solver, truth, GravityPrior{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IPFNonConverged != 0 {
+		t.Errorf("unexpected non-convergences: %d", stats.IPFNonConverged)
+	}
+	if stats.IPFSweepsTotal == 0 {
+		t.Error("IPF ran but no sweeps recorded")
+	}
+}
+
+// TestSkipIPFDiag: with IPF disabled the diag must stay neutral.
+func TestSkipIPFDiag(t *testing.T) {
+	rm, truth, _ := fixture(t, 8, 2, 0.1, 35)
+	solver, err := NewSolver(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats, err := RunWithSolverStats(solver, truth, GravityPrior{}, Options{SkipIPF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IPFNonConverged != 0 || stats.IPFSweepsTotal != 0 {
+		t.Errorf("SkipIPF run recorded IPF activity: %+v", stats)
+	}
+}

@@ -1,8 +1,10 @@
 package estimation
 
 import (
+	"errors"
 	"fmt"
 
+	"ictm/internal/parallel"
 	"ictm/internal/rng"
 	"ictm/internal/routing"
 	"ictm/internal/tm"
@@ -32,6 +34,36 @@ type Options struct {
 	// NoiseSeed seeds the link-noise stream (so comparisons across
 	// priors see identical noise).
 	NoiseSeed uint64
+	// Workers bounds how many bins (Run/RunWithSolver) or priors
+	// (Compare) are estimated concurrently: 0 selects GOMAXPROCS, 1 the
+	// plain sequential loop. The bound applies per fan-out level, so
+	// Compare can have up to Workers priors × Workers bins in flight;
+	// Go still multiplexes them over GOMAXPROCS OS threads, so this
+	// overlaps scheduling, not CPU. Results are bit-identical for every
+	// value — each bin's link-noise variates come from an independent
+	// stream keyed by the bin index (not consumed across bins), and
+	// each bin writes only its own result slot.
+	Workers int
+}
+
+// noiseStream returns the root link-noise generator, or nil when noise
+// is disabled. Per-bin children must be derived from it with
+// DeriveIndex(bin) so that results do not depend on bin execution order.
+func (o Options) noiseStream() *rng.PCG {
+	if o.LinkNoiseSigma <= 0 {
+		return nil
+	}
+	return rng.New(o.NoiseSeed).Derive("estimation/linknoise")
+}
+
+// BinDiag carries the non-fatal diagnostics of estimating one bin.
+type BinDiag struct {
+	// IPFSweeps is the number of IPF sweeps performed (0 under SkipIPF).
+	IPFSweeps int
+	// IPFConverged is false when IPF exhausted its sweep budget before
+	// reaching tolerance (ErrIPFNoConverge). The estimate is still
+	// usable but honours the measured marginals only approximately.
+	IPFConverged bool
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -39,21 +71,37 @@ type BinResult struct {
 	Estimate *tm.TrafficMatrix
 	// RelL2 is the error against the true matrix.
 	RelL2 float64
+	// Diag carries the bin's non-fatal pipeline diagnostics.
+	Diag BinDiag
+}
+
+// RunStats aggregates the per-bin diagnostics of one estimation run.
+type RunStats struct {
+	// Bins is the number of bins estimated.
+	Bins int
+	// IPFSweepsTotal sums IPF sweeps over all bins.
+	IPFSweepsTotal int
+	// IPFNonConverged counts bins whose IPF stopped at the sweep budget
+	// without reaching tolerance.
+	IPFNonConverged int
 }
 
 // EstimateBin runs the full three-step pipeline for one bin: prior →
 // tomogravity projection → clamp + IPF toward the measured marginals.
-func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, error) {
+// IPF non-convergence is not an error: the estimate is returned together
+// with a BinDiag recording the shortfall.
+func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
+	diag := BinDiag{IPFConverged: true}
 	_, ing, eg, err := s.rm.SplitLoads(y)
 	if err != nil {
-		return nil, err
+		return nil, diag, err
 	}
 	p, err := prior.PriorFor(t, ing, eg)
 	if err != nil {
-		return nil, fmt.Errorf("estimation: prior %q bin %d: %w", prior.Name(), t, err)
+		return nil, diag, fmt.Errorf("estimation: prior %q bin %d: %w", prior.Name(), t, err)
 	}
 	if p.N() != s.rm.N {
-		return nil, fmt.Errorf("%w: prior %q returned n=%d, want %d", ErrInput, prior.Name(), p.N(), s.rm.N)
+		return nil, diag, fmt.Errorf("%w: prior %q returned n=%d, want %d", ErrInput, prior.Name(), p.N(), s.rm.N)
 	}
 	var est *tm.TrafficMatrix
 	if opts.Weighted {
@@ -62,15 +110,20 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 		est, err = s.Project(p, y)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("estimation: project bin %d: %w", t, err)
+		return nil, diag, fmt.Errorf("estimation: project bin %d: %w", t, err)
 	}
 	est.ClampNonNegative()
 	if !opts.SkipIPF {
-		if _, err := IPF(est, ing, eg, opts.IPFTol, opts.IPFMaxIter); err != nil {
-			return nil, fmt.Errorf("estimation: IPF bin %d: %w", t, err)
+		sweeps, err := IPF(est, ing, eg, opts.IPFTol, opts.IPFMaxIter)
+		diag.IPFSweeps = sweeps
+		if err != nil {
+			if !errors.Is(err, ErrIPFNoConverge) {
+				return nil, diag, fmt.Errorf("estimation: IPF bin %d: %w", t, err)
+			}
+			diag.IPFConverged = false
 		}
 	}
-	return est, nil
+	return est, diag, nil
 }
 
 // Run estimates every bin of the true series and reports per-bin errors.
@@ -91,56 +144,101 @@ func Run(rm *routing.Matrix, truth *tm.Series, prior Prior, opts Options) (*tm.S
 // RunWithSolver is Run with a caller-provided (cached) solver, so several
 // priors can share one routing factorization.
 func RunWithSolver(solver *Solver, truth *tm.Series, prior Prior, opts Options) (*tm.Series, []float64, error) {
+	out, errs, _, err := RunWithSolverStats(solver, truth, prior, opts)
+	return out, errs, err
+}
+
+// RunWithSolverStats is RunWithSolver, additionally reporting aggregate
+// run diagnostics (IPF sweep counts and non-convergences). Bins are
+// estimated concurrently under opts.Workers; the solver factorization is
+// shared read-only and every bin works on its own scratch, so results
+// are identical to the sequential path.
+func RunWithSolverStats(solver *Solver, truth *tm.Series, prior Prior, opts Options) (*tm.Series, []float64, *RunStats, error) {
 	rm := solver.rm
 	if truth.N() != rm.N {
-		return nil, nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
+		return nil, nil, nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
 	}
-	out := tm.NewSeries(truth.N(), truth.BinSeconds)
-	errsOut := make([]float64, truth.Len())
-	var noise *rng.PCG
-	if opts.LinkNoiseSigma > 0 {
-		noise = rng.New(opts.NoiseSeed).Derive("estimation/linknoise")
-	}
-	for t := 0; t < truth.Len(); t++ {
+	noiseRoot := opts.noiseStream()
+	results := make([]BinResult, truth.Len())
+	err := parallel.ForEach(opts.Workers, truth.Len(), func(t int) error {
 		y, err := rm.LinkLoads(truth.At(t))
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		if noise != nil {
+		if noiseRoot != nil {
+			noise := noiseRoot.DeriveIndex(uint64(t))
 			for i := range y {
 				y[i] *= noise.LogNormal(0, opts.LinkNoiseSigma)
 			}
 		}
-		est, err := EstimateBin(solver, prior, t, y, opts)
+		est, diag, err := EstimateBin(solver, prior, t, y, opts)
 		if err != nil {
-			return nil, nil, err
-		}
-		if err := out.Append(est); err != nil {
-			return nil, nil, err
+			return err
 		}
 		e, err := tm.RelL2(truth.At(t), est)
 		if err != nil {
-			return nil, nil, err
+			return fmt.Errorf("estimation: bin %d: %w", t, err)
 		}
-		errsOut[t] = e
+		results[t] = BinResult{Estimate: est, RelL2: e, Diag: diag}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	return out, errsOut, nil
+	out := tm.NewSeries(truth.N(), truth.BinSeconds)
+	errsOut := make([]float64, len(results))
+	stats := &RunStats{Bins: len(results)}
+	for t, r := range results {
+		if err := out.Append(r.Estimate); err != nil {
+			return nil, nil, nil, err
+		}
+		errsOut[t] = r.RelL2
+		stats.IPFSweepsTotal += r.Diag.IPFSweeps
+		if !r.Diag.IPFConverged {
+			stats.IPFNonConverged++
+		}
+	}
+	return out, errsOut, stats, nil
 }
 
 // Compare runs several priors over the same truth and routing, sharing
 // the solver, and returns per-prior error series keyed by prior name.
+// Priors are swept concurrently under opts.Workers (each inner run also
+// parallelizes over bins); per-prior results match the sequential path
+// exactly because the link-noise stream is keyed by bin, not by
+// consumption order.
 func Compare(rm *routing.Matrix, truth *tm.Series, priors []Prior, opts Options) (map[string][]float64, error) {
+	errs, _, err := CompareStats(rm, truth, priors, opts)
+	return errs, err
+}
+
+// CompareStats is Compare, additionally reporting each prior's run
+// diagnostics keyed by prior name (so CLIs can surface IPF
+// non-convergence counts instead of dropping them).
+func CompareStats(rm *routing.Matrix, truth *tm.Series, priors []Prior, opts Options) (map[string][]float64, map[string]*RunStats, error) {
 	solver, err := NewSolver(rm)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make(map[string][]float64, len(priors))
-	for _, p := range priors {
-		_, errs, err := RunWithSolver(solver, truth, p, opts)
+	type priorRun struct {
+		errs  []float64
+		stats *RunStats
+	}
+	perPrior, err := parallel.Map(opts.Workers, len(priors), func(i int) (priorRun, error) {
+		_, errs, stats, err := RunWithSolverStats(solver, truth, priors[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("estimation: prior %q: %w", p.Name(), err)
+			return priorRun{}, fmt.Errorf("estimation: prior %q: %w", priors[i].Name(), err)
 		}
-		out[p.Name()] = errs
+		return priorRun{errs: errs, stats: stats}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return out, nil
+	errsOut := make(map[string][]float64, len(priors))
+	statsOut := make(map[string]*RunStats, len(priors))
+	for i, p := range priors {
+		errsOut[p.Name()] = perPrior[i].errs
+		statsOut[p.Name()] = perPrior[i].stats
+	}
+	return errsOut, statsOut, nil
 }

@@ -1,6 +1,7 @@
 package estimation
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,9 +10,24 @@ import (
 	"ictm/internal/tm"
 )
 
+// ErrIPFNoConverge reports that IPF exhausted its sweep budget before
+// reaching tolerance. The matrix holds the last sweep's state — usable,
+// but honouring the targets only approximately — so callers may treat
+// this as a diagnostic rather than a failure (EstimateBin records it in
+// BinDiag and keeps the estimate).
+var ErrIPFNoConverge = errors.New("estimation: IPF did not converge")
+
 // Solver performs the tomogravity least-squares projection (step 2).
 // It caches the SVD of the routing matrix so the per-bin work is two
 // matrix-vector products, which matters when sweeping thousands of bins.
+//
+// A Solver is safe for concurrent use once constructed: the routing
+// matrix and its factorization (rm.R, svd.U/S/V, cut) are never written
+// after NewSolver returns, and Project/ProjectWeighted allocate all
+// working storage (residuals, the correction vector, the scaled matrix
+// copy of the weighted variant) per call instead of sharing scratch
+// buffers. RunWithSolverStats relies on this to estimate bins in
+// parallel against one shared factorization.
 type Solver struct {
 	rm  *routing.Matrix
 	svd *linalg.SVD
@@ -153,7 +169,11 @@ func (s *Solver) ProjectWeighted(prior *tm.TrafficMatrix, y []float64) (*tm.Traf
 // match rowTargets and column sums match colTargets within tol
 // (relative). Entries stay non-negative; zero rows/columns with positive
 // targets are seeded uniformly first so mass can be created there.
-// It returns the number of sweeps performed.
+// It returns the number of sweeps performed. When the tolerance is not
+// reached within maxIter sweeps, the sweep count is returned together
+// with an error wrapping ErrIPFNoConverge (previously this case was
+// silently indistinguishable from converging on the last sweep); x holds
+// the last sweep's state either way.
 func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, maxIter int) (int, error) {
 	n := x.N()
 	if err := validateMarginals(n, rowTargets, colTargets); err != nil {
@@ -182,6 +202,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 			}
 		}
 	}
+	worst := math.Inf(1)
 	for iter := 1; iter <= maxIter; iter++ {
 		// Row scaling.
 		ing = x.Ingress()
@@ -207,7 +228,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 		}
 		// Convergence check on row sums (columns were just enforced).
 		ing = x.Ingress()
-		worst := 0.0
+		worst = 0
 		for i := 0; i < n; i++ {
 			den := math.Max(rowTargets[i], 1)
 			if d := math.Abs(ing[i]-rowTargets[i]) / den; d > worst {
@@ -218,5 +239,6 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 			return iter, nil
 		}
 	}
-	return maxIter, nil
+	return maxIter, fmt.Errorf("%w after %d sweeps (worst relative row error %.3g > tol %.3g)",
+		ErrIPFNoConverge, maxIter, worst, tol)
 }

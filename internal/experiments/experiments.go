@@ -13,7 +13,9 @@ import (
 	"ictm/internal/core"
 	"ictm/internal/estimation"
 	"ictm/internal/fit"
+	"ictm/internal/parallel"
 	"ictm/internal/routing"
+	"ictm/internal/stats"
 	"ictm/internal/synth"
 	"ictm/internal/tm"
 	"ictm/internal/topology"
@@ -28,6 +30,14 @@ var ErrConfig = errors.New("experiments: invalid config")
 // two weeks of 7 bins/day.
 type Config struct {
 	Scale float64
+	// Workers bounds how many figures RunAll regenerates concurrently
+	// and is forwarded to the estimation pipeline's per-bin fan-out:
+	// 0 selects GOMAXPROCS, 1 the plain sequential loop. The bound
+	// applies per fan-out level (up to Workers figures × Workers bins
+	// in flight; Go multiplexes them over GOMAXPROCS OS threads).
+	// Every figure is deterministic from the scenario seeds, so results
+	// are identical for any value.
+	Workers int
 }
 
 // Default returns cfg with zero fields filled.
@@ -61,50 +71,51 @@ type Result struct {
 type datasetT = synth.Dataset
 
 // World lazily generates and caches datasets, weekly fits, topologies
-// and routing matrices shared by the figures. It is not safe for
-// concurrent use; each benchmark/CLI run owns one.
+// and routing matrices shared by the figures. Every cache is a per-key
+// once-memo, so a World is safe for concurrent use by several figure
+// runners: the first requester of a key computes it, concurrent
+// requesters of the same key wait, distinct keys compute in parallel.
+// All cached artifacts are deterministic functions of the scenario
+// seeds, so computation order never affects results.
 type World struct {
 	cfg      Config
-	datasets map[string]*synth.Dataset
-	weekFits map[string]*fit.Result
-	routes   map[string]*routing.Matrix
-	solvers  map[string]*estimation.Solver
-	gravErrs map[string][]float64
+	datasets parallel.Memo[*synth.Dataset]
+	weekFits parallel.Memo[*fit.Result]
+	routes   parallel.Memo[*routing.Matrix]
+	solvers  parallel.Memo[*estimation.Solver]
+	gravErrs parallel.Memo[[]float64]
 }
 
 // NewWorld returns an empty cache for the configuration.
 func NewWorld(cfg Config) *World {
-	return &World{
-		cfg:      cfg.Default(),
-		datasets: make(map[string]*synth.Dataset),
-		weekFits: make(map[string]*fit.Result),
-		routes:   make(map[string]*routing.Matrix),
-		solvers:  make(map[string]*estimation.Solver),
-		gravErrs: make(map[string][]float64),
-	}
+	return &World{cfg: cfg.Default()}
+}
+
+// estOptions returns the estimation options every figure uses, with the
+// world's worker bound forwarded to the per-bin fan-out.
+func (w *World) estOptions() estimation.Options {
+	return estimation.Options{Workers: w.cfg.Workers}
 }
 
 // GravityEstimationErrors returns cached per-bin errors of the
 // gravity-prior estimation pipeline for one week of a dataset.
 func (w *World) GravityEstimationErrors(d *synth.Dataset, week int) ([]float64, error) {
 	key := fmt.Sprintf("%s/w%d", d.Scenario.Name, week)
-	if e, ok := w.gravErrs[key]; ok {
-		return e, nil
-	}
-	solver, err := w.Solver(d)
-	if err != nil {
-		return nil, err
-	}
-	truth, err := d.Week(week)
-	if err != nil {
-		return nil, err
-	}
-	_, errs, err := estimation.RunWithSolver(solver, truth, estimation.GravityPrior{}, estimation.Options{})
-	if err != nil {
-		return nil, err
-	}
-	w.gravErrs[key] = errs
-	return errs, nil
+	return w.gravErrs.Get(key, func() ([]float64, error) {
+		solver, err := w.Solver(d)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := d.Week(week)
+		if err != nil {
+			return nil, err
+		}
+		_, errs, err := estimation.RunWithSolver(solver, truth, estimation.GravityPrior{}, w.estOptions())
+		if err != nil {
+			return nil, err
+		}
+		return errs, nil
+	})
 }
 
 // scaledScenario shrinks a preset's bins-per-week by the configured
@@ -130,83 +141,62 @@ func (w *World) Totem() (*synth.Dataset, error) { return w.dataset(synth.TotemLi
 
 func (w *World) dataset(sc synth.Scenario) (*synth.Dataset, error) {
 	sc = w.scaledScenario(sc)
-	if d, ok := w.datasets[sc.Name]; ok {
+	return w.datasets.Get(sc.Name, func() (*synth.Dataset, error) {
+		d, err := synth.Generate(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", sc.Name, err)
+		}
 		return d, nil
-	}
-	d, err := synth.Generate(sc)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generate %s: %w", sc.Name, err)
-	}
-	w.datasets[sc.Name] = d
-	return d, nil
+	})
 }
 
 // WeekFit returns the cached stable-fP fit of one week of a dataset.
 func (w *World) WeekFit(d *synth.Dataset, week int) (*fit.Result, error) {
 	key := fmt.Sprintf("%s/w%d", d.Scenario.Name, week)
-	if r, ok := w.weekFits[key]; ok {
+	return w.weekFits.Get(key, func() (*fit.Result, error) {
+		series, err := d.Week(week)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fit.StableFP(series, fit.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fit %s: %w", key, err)
+		}
 		return r, nil
-	}
-	series, err := d.Week(week)
-	if err != nil {
-		return nil, err
-	}
-	r, err := fit.StableFP(series, fit.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fit %s: %w", key, err)
-	}
-	w.weekFits[key] = r
-	return r, nil
+	})
 }
 
 // Routing returns a cached routing matrix for a scenario-sized Waxman
 // topology (the synthetic stand-in for the Géant/Totem backbones).
 func (w *World) Routing(d *synth.Dataset) (*routing.Matrix, error) {
-	key := d.Scenario.Name
-	if rm, ok := w.routes[key]; ok {
-		return rm, nil
-	}
-	g, err := topology.Waxman(d.Scenario.N, 0.6, 0.4, d.Scenario.Seed)
-	if err != nil {
-		return nil, err
-	}
-	rm, err := routing.Build(g)
-	if err != nil {
-		return nil, err
-	}
-	w.routes[key] = rm
-	return rm, nil
+	return w.routes.Get(d.Scenario.Name, func() (*routing.Matrix, error) {
+		g, err := topology.Waxman(d.Scenario.N, 0.6, 0.4, d.Scenario.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return routing.Build(g)
+	})
 }
 
 // Solver returns a cached tomogravity solver (routing-matrix SVD) for a
 // scenario, shared by every estimation figure.
 func (w *World) Solver(d *synth.Dataset) (*estimation.Solver, error) {
-	key := d.Scenario.Name
-	if s, ok := w.solvers[key]; ok {
-		return s, nil
-	}
-	rm, err := w.Routing(d)
-	if err != nil {
-		return nil, err
-	}
-	s, err := estimation.NewSolver(rm)
-	if err != nil {
-		return nil, err
-	}
-	w.solvers[key] = s
-	return s, nil
+	return w.solvers.Get(d.Scenario.Name, func() (*estimation.Solver, error) {
+		rm, err := w.Routing(d)
+		if err != nil {
+			return nil, err
+		}
+		return estimation.NewSolver(rm)
+	})
 }
 
-// meanOf returns the arithmetic mean of xs (0 for empty).
+// meanOf returns the arithmetic mean of the finite elements of xs
+// (0 for empty). Non-finite elements — e.g. per-pair improvements where
+// the baseline error was 0 — are excluded so one undefined bin cannot
+// poison a figure's summary statistics.
 func meanOf(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
-	for _, v := range xs {
-		s += v
-	}
-	return s / float64(len(xs))
+	m, _ := stats.FiniteMean(xs)
+	return m
 }
 
 // indexSeries wraps ys as a Series with X = 0..len-1.

@@ -75,7 +75,7 @@ func estFigure(w *World, d *synth.Dataset, targetWeek int, prior estimation.Prio
 	if err != nil {
 		return nil, err
 	}
-	_, icErrs, err := estimation.RunWithSolver(solver, truth, prior, estimation.Options{})
+	_, icErrs, err := estimation.RunWithSolver(solver, truth, prior, w.estOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// requireSameResults asserts two figure-result sets are bit-identical.
+func requireSameResults(t *testing.T, seq, par []*Result) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for k := range seq {
+		s, p := seq[k], par[k]
+		if s.ID != p.ID || s.Title != p.Title || s.Notes != p.Notes {
+			t.Fatalf("figure %d metadata differs: %q vs %q", k, s.ID, p.ID)
+		}
+		if len(s.Summary) != len(p.Summary) {
+			t.Fatalf("%s: summary sizes differ", s.ID)
+		}
+		for key, sv := range s.Summary {
+			if pv, ok := p.Summary[key]; !ok || pv != sv {
+				t.Fatalf("%s: summary %q = %g parallel vs %g sequential", s.ID, key, pv, sv)
+			}
+		}
+		if len(s.Series) != len(p.Series) {
+			t.Fatalf("%s: series counts differ", s.ID)
+		}
+		for si := range s.Series {
+			ss, ps := s.Series[si], p.Series[si]
+			if ss.Name != ps.Name || len(ss.Y) != len(ps.Y) {
+				t.Fatalf("%s: series %d shape differs", s.ID, si)
+			}
+			for i := range ss.Y {
+				if ss.X[i] != ps.X[i] || ss.Y[i] != ps.Y[i] {
+					t.Fatalf("%s/%s point %d: (%g,%g) parallel vs (%g,%g) sequential",
+						s.ID, ss.Name, i, ps.X[i], ps.Y[i], ss.X[i], ss.Y[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllWorkersBitIdentical is the determinism contract of the
+// parallel experiment layer: regenerating every figure with 1 worker and
+// with 8 must produce bit-identical results and reports.
+func TestRunAllWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	var seqOut, parOut bytes.Buffer
+	seq, err := RunAll(NewWorld(Config{Scale: 0.02, Workers: 1}), &seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(NewWorld(Config{Scale: 0.02, Workers: 8}), &parOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, seq, par)
+	if seqOut.String() != parOut.String() {
+		t.Error("printed reports differ between worker counts")
+	}
+}
+
+// TestWorldSharedAcrossWorkerCounts: a world warmed by a sequential run
+// serves a concurrent run from cache with identical results.
+func TestWorldSharedAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	w := NewWorld(Config{Scale: 0.02, Workers: 8})
+	first, err := RunAll(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunAll(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, first, second)
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+
+	"ictm/internal/parallel"
 )
 
 // Runner is one figure regeneration.
@@ -31,18 +34,46 @@ func All() []Runner {
 }
 
 // RunAll executes every figure against one shared world and writes a
-// report. It stops at the first failure.
+// report. Figures run concurrently under the world's Workers setting
+// (0 = GOMAXPROCS, 1 = sequential), but the report streams strictly in
+// paper order: each figure is printed as soon as it and every figure
+// before it have finished, so sequential runs keep their incremental
+// output and the bytes written are identical for any worker count. On
+// failure it returns the completed prefix of results together with the
+// error of the first figure (in paper order) that failed.
 func RunAll(w *World, out io.Writer) ([]*Result, error) {
-	var results []*Result
-	for _, r := range All() {
-		res, err := r.Run(w)
+	runners := All()
+	results := make([]*Result, len(runners))
+	var (
+		mu      sync.Mutex
+		done    = make([]bool, len(runners))
+		printed int
+	)
+	err := parallel.ForEach(w.cfg.Workers, len(runners), func(i int) error {
+		res, err := runners[i].Run(w)
 		if err != nil {
-			return results, fmt.Errorf("experiments: %s: %w", r.ID, err)
+			return fmt.Errorf("experiments: %s: %w", runners[i].ID, err)
 		}
-		results = append(results, res)
-		if out != nil {
-			res.Print(out, false)
+		results[i] = res
+		mu.Lock()
+		done[i] = true
+		for printed < len(runners) && done[printed] {
+			if out != nil {
+				results[printed].Print(out, false)
+			}
+			printed++
 		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		// ForEach dispatches in order and reports the lowest failing
+		// index, so every figure before the failure has completed.
+		n := 0
+		for n < len(results) && results[n] != nil {
+			n++
+		}
+		return results[:n], err
 	}
 	return results, nil
 }

@@ -1,0 +1,38 @@
+package parallel
+
+import "sync"
+
+// Memo is a concurrency-safe, per-key memoization table: the first Get
+// for a key runs compute exactly once while concurrent Gets for the same
+// key block until it finishes; Gets for distinct keys compute
+// concurrently. Errors are cached like values, so a failed computation
+// is not retried — matching the write-once cache semantics the
+// experiment World had when it was single-threaded.
+//
+// The zero value is ready to use.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, computing it on first use.
+func (m *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry[V])
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}

@@ -1,0 +1,54 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%4)
+			v, err := m.Get(key, func() (int, error) {
+				calls.Add(1)
+				return g % 4, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if v != g%4 {
+				t.Errorf("key %s -> %d", key, v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 4 {
+		t.Errorf("compute ran %d times for 4 keys", c)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[string]
+	sentinel := errors.New("broken")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := m.Get("k", func() (string, error) {
+			calls++
+			return "", sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("got %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failed compute retried %d times", calls)
+	}
+}

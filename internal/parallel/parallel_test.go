@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestForEachRunsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Items 30 and 60 fail; the reported error must be item 30's for any
+	// worker count (with one worker, item 60 is never reached at all).
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 30 failed" {
+			t.Errorf("workers=%d: got %v, want item 30's error", workers, err)
+		}
+	}
+}
+
+func TestForEachPrefixCompleteBeforeFailure(t *testing.T) {
+	// Every item before the failing index must have completed.
+	const fail = 50
+	var done [100]atomic.Bool
+	err := ForEach(8, 100, func(i int) error {
+		if i == fail {
+			return errors.New("boom")
+		}
+		done[i].Store(true)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 0; i < fail; i++ {
+		if !done[i].Load() {
+			t.Fatalf("item %d before failing index did not complete", i)
+		}
+	}
+}
+
+func TestForEachCancelsAfterError(t *testing.T) {
+	// With a failure at item 0 and 1 worker-equivalent serialization not
+	// guaranteed, later items may start before the stop flag is seen, but
+	// most of a large range must be skipped.
+	var ran atomic.Int64
+	err := ForEach(2, 100000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 50000 {
+		t.Errorf("cancellation ineffective: %d of 100000 items ran", n)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 7, 0} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("nope")
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if out != nil {
+		t.Error("Map must return nil results on error")
+	}
+}

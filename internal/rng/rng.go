@@ -61,6 +61,23 @@ func (p *PCG) Derive(label string) *PCG {
 	return NewStream(p.seed^h, p.inc^h)
 }
 
+// DeriveIndex returns the i-th numbered child stream of p, analogous to
+// Derive but keyed by an integer. The index is mixed with a SplitMix64
+// finalizer so adjacent indices yield decorrelated streams. Like Derive
+// it reads only p's construction-time seed material, so it is safe to
+// call concurrently from several goroutines on the same parent — the
+// property the per-bin link-noise keying in the estimation pipeline
+// relies on.
+func (p *PCG) DeriveIndex(i uint64) *PCG {
+	h := i + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return NewStream(p.seed^h, p.inc^h)
+}
+
 func (p *PCG) next32() uint32 {
 	old := p.state
 	p.state = old*pcgMult + p.inc

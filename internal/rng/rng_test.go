@@ -227,6 +227,45 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestDeriveIndexDeterministic(t *testing.T) {
+	a := New(7).Derive("noise").DeriveIndex(12)
+	b := New(7).Derive("noise").DeriveIndex(12)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("DeriveIndex not deterministic")
+		}
+	}
+}
+
+func TestDeriveIndexStreamsDiffer(t *testing.T) {
+	p := New(7).Derive("noise")
+	// Adjacent and distant indices must all yield distinct first draws.
+	seen := make(map[uint64]uint64)
+	for _, i := range []uint64{0, 1, 2, 3, 100, 1000, 1 << 40} {
+		v := p.DeriveIndex(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Errorf("indices %d and %d collide on first draw", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestDeriveIndexDoesNotConsumeParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.DeriveIndex(3)
+	_ = a.DeriveIndex(4)
+	if a.Uint64() != b.Uint64() {
+		t.Error("DeriveIndex must not consume parent variates")
+	}
+}
+
+func TestDeriveIndexDependsOnSeed(t *testing.T) {
+	if New(1).DeriveIndex(5).Uint64() == New(2).DeriveIndex(5).Uint64() {
+		t.Error("DeriveIndex must depend on the parent seed")
+	}
+}
+
 func TestDeriveDependsOnSeed(t *testing.T) {
 	a := New(1).Derive("x")
 	b := New(2).Derive("x")

@@ -26,6 +26,34 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// Finite returns the elements of xs that are neither NaN nor ±Inf, in
+// order. It returns xs itself (no copy) when every element is finite.
+func Finite(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			out := make([]float64, i, len(xs))
+			copy(out, xs[:i])
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) && !math.IsInf(y, 0) {
+					out = append(out, y)
+				}
+			}
+			return out
+		}
+	}
+	return xs
+}
+
+// FiniteMean returns the mean of the finite elements of xs and the
+// number of NaN/±Inf elements that were dropped. A single undefined
+// bin (e.g. a relative error against a zero-truth matrix) therefore
+// cannot poison a whole mean-error report. The mean of an all-dropped
+// (or empty) sample is 0, matching Mean.
+func FiniteMean(xs []float64) (mean float64, dropped int) {
+	f := Finite(xs)
+	return Mean(f), len(xs) - len(f)
+}
+
 // Variance returns the unbiased sample variance (n-1 denominator),
 // or 0 for samples of size < 2.
 func Variance(xs []float64) float64 {

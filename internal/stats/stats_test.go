@@ -22,6 +22,37 @@ func TestMeanVarianceStd(t *testing.T) {
 	}
 }
 
+func TestFinite(t *testing.T) {
+	clean := []float64{1, 2, 3}
+	if got := Finite(clean); &got[0] != &clean[0] {
+		t.Error("Finite must not copy an all-finite slice")
+	}
+	mixed := []float64{1, math.Inf(1), 2, math.NaN(), 3, math.Inf(-1)}
+	got := Finite(mixed)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Finite kept %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Finite[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFiniteMean(t *testing.T) {
+	m, dropped := FiniteMean([]float64{1, math.Inf(1), 3})
+	if m != 2 || dropped != 1 {
+		t.Errorf("FiniteMean = (%g, %d), want (2, 1)", m, dropped)
+	}
+	if m, dropped = FiniteMean(nil); m != 0 || dropped != 0 {
+		t.Errorf("FiniteMean(nil) = (%g, %d)", m, dropped)
+	}
+	if m, dropped = FiniteMean([]float64{math.NaN()}); m != 0 || dropped != 1 {
+		t.Errorf("FiniteMean(NaN) = (%g, %d), want (0, 1)", m, dropped)
+	}
+}
+
 func TestMeanEmpty(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")

@@ -1,9 +1,16 @@
 package tm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrZeroTruth reports a relative error against an all-zero true matrix
+// with a non-zero estimate: the metric is undefined (division by a zero
+// norm). Callers that previously received +Inf here should treat the bin
+// as unmeasurable rather than fold an infinity into mean-error reports.
+var ErrZeroTruth = errors.New("tm: relative error undefined for zero true matrix")
 
 // RelL2 returns the relative L2 error between an estimate and the true
 // matrix at one time bin (equation 6 of the paper):
@@ -11,7 +18,9 @@ import (
 //	RelL2(t) = ||X(t) - X̂(t)||₂ / ||X(t)||₂
 //
 // It returns ErrShape (wrapped) on size mismatch. A zero true matrix
-// yields 0 if the estimate is also zero and +Inf otherwise.
+// yields 0 when the estimate is also zero (a perfect estimate of an idle
+// network) and ErrZeroTruth otherwise — previously this case returned
+// (+Inf, nil), which silently poisoned mean-error summaries downstream.
 func RelL2(truth, est *TrafficMatrix) (float64, error) {
 	if truth.N() != est.N() {
 		return 0, fmt.Errorf("%w: RelL2 of n=%d vs n=%d", ErrShape, truth.N(), est.N())
@@ -27,7 +36,7 @@ func RelL2(truth, est *TrafficMatrix) (float64, error) {
 		if num == 0 {
 			return 0, nil
 		}
-		return math.Inf(1), nil
+		return 0, fmt.Errorf("%w: estimate carries %g of mass", ErrZeroTruth, math.Sqrt(num))
 	}
 	return math.Sqrt(num / den), nil
 }

@@ -219,13 +219,20 @@ func TestRelL2(t *testing.T) {
 
 func TestRelL2ZeroTruth(t *testing.T) {
 	z := New(2)
-	if e, _ := RelL2(z, New(2)); e != 0 {
-		t.Errorf("RelL2(0,0) = %g, want 0", e)
+	if e, err := RelL2(z, New(2)); err != nil || e != 0 {
+		t.Errorf("RelL2(0,0) = (%g, %v), want (0, nil)", e, err)
 	}
 	est := New(2)
 	est.Set(0, 0, 1)
-	if e, _ := RelL2(z, est); !math.IsInf(e, 1) {
-		t.Errorf("RelL2(0,x) = %g, want +Inf", e)
+	// A non-zero estimate of an all-zero truth has no well-defined
+	// relative error: it must be the ErrZeroTruth sentinel, never a
+	// quietly returned +Inf that poisons downstream means.
+	e, err := RelL2(z, est)
+	if !errors.Is(err, ErrZeroTruth) {
+		t.Errorf("RelL2(0,x) error = %v, want ErrZeroTruth", err)
+	}
+	if math.IsInf(e, 0) || math.IsNaN(e) {
+		t.Errorf("RelL2(0,x) value = %g, want finite", e)
 	}
 }
 
