@@ -220,6 +220,112 @@ func BenchmarkTomogravityProject(b *testing.B) {
 	}
 }
 
+// --- weighted-projection benchmarks (dense SVD vs sparse LSQR) ---
+
+// benchWeightedSetup builds the shared fixtures of the weighted
+// projection pair: a 22-node routing solver plus one bin's observation
+// and gravity prior (the default benchmark scale of the PR 2
+// acceptance criterion).
+func benchWeightedSetup(b *testing.B) (*estimation.Solver, *TrafficMatrix, []float64) {
+	b.Helper()
+	g, err := topology.Waxman(22, 0.6, 0.4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := estimation.NewSolver(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := benchSeries(b, 22, 14)
+	x := d.Series.At(0)
+	y, err := rm.LinkLoads(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := GravityFromMarginals(x.Ingress(), x.Egress())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return solver, prior, y
+}
+
+// BenchmarkProjectWeightedDense measures the legacy per-bin dense-SVD
+// weighted projection (the pre-PR 2 implementation, kept as reference).
+func BenchmarkProjectWeightedDense(b *testing.B) {
+	solver, prior, y := benchWeightedSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.ProjectWeightedDense(prior, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProjectWeightedLSQR measures the sparse iterative fast path
+// on identical inputs; the PR 2 acceptance criterion requires >= 10x
+// over BenchmarkProjectWeightedDense at this scale.
+func BenchmarkProjectWeightedLSQR(b *testing.B) {
+	solver, prior, y := benchWeightedSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.ProjectWeighted(prior, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- fitter and generator worker-sweep benchmarks ---
+
+// benchFitTimeVarying fits the fully time-varying variant with the
+// given worker bound (results are bit-identical for any value, so the
+// pair measures pure wall-clock).
+func benchFitTimeVarying(b *testing.B, workers int) {
+	b.Helper()
+	d := benchSeries(b, 22, 56)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fit.TimeVarying(d.Series, fit.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitTimeVaryingSeq runs the per-bin fits one at a time.
+func BenchmarkFitTimeVaryingSeq(b *testing.B) { benchFitTimeVarying(b, 1) }
+
+// BenchmarkFitTimeVaryingPar fans the per-bin fits over all CPUs.
+func BenchmarkFitTimeVaryingPar(b *testing.B) { benchFitTimeVarying(b, 0) }
+
+// benchSynthGenerate realizes a one-week Geant-like scenario with the
+// given worker bound.
+func benchSynthGenerate(b *testing.B, workers int) {
+	b.Helper()
+	sc := GeantLike()
+	sc.BinsPerWeek = 112
+	sc.Weeks = 1
+	sc.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthGenerateSeq generates bins one at a time.
+func BenchmarkSynthGenerateSeq(b *testing.B) { benchSynthGenerate(b, 1) }
+
+// BenchmarkSynthGeneratePar generates bins on all CPUs.
+func BenchmarkSynthGeneratePar(b *testing.B) { benchSynthGenerate(b, 0) }
+
 // BenchmarkRoutingBuild measures full ECMP routing-matrix construction
 // for a 22-node Waxman topology.
 func BenchmarkRoutingBuild(b *testing.B) {

@@ -41,9 +41,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		weeks     = fs.Int("weeks", 2, "weeks to generate (week 0 calibrates, week 1 is estimated)")
 		scale     = fs.Float64("scale", 0.25, "bins-per-week scale factor (1 = full paper scale)")
 		seed      = fs.Uint64("seed", 0, "override scenario seed (0 = preset default)")
-		weighted  = fs.Bool("weighted", false, "use prior-weighted tomogravity (slower)")
+		weighted  = fs.Bool("weighted", false, "use prior-weighted tomogravity (sparse LSQR fast path)")
+		wDense    = fs.Bool("weighted-dense", false, "force the legacy dense per-bin SVD for the weighted step (reference; markedly slower)")
 		linkNoise = fs.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
-		workers   = fs.Int("workers", 0, "concurrent estimation workers (0 = all CPUs, 1 = sequential); results are identical for any value")
+		workers   = fs.Int("workers", 0, "concurrent workers for generation, fitting and estimation (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		perDay = 2
 	}
 	sc.BinsPerWeek = perDay * 7
+	sc.Workers = *workers
 
 	fmt.Fprintf(stderr, "icest: generating %s (n=%d, %d bins/week, %d weeks)\n",
 		sc.Name, sc.N, sc.BinsPerWeek, sc.Weeks)
@@ -90,12 +92,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintln(stderr, "icest: fitting calibration week (stable-fP)")
-	calibFit, err := fit.StableFP(calib, fit.Options{})
+	calibFit, err := fit.StableFP(calib, fit.Options{Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("calibration fit: %w", err)
 	}
 	fmt.Fprintln(stderr, "icest: fitting target week (for the all-measured prior)")
-	targetFit, err := fit.StableFP(target, fit.Options{})
+	targetFit, err := fit.StableFP(target, fit.Options{Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("target fit: %w", err)
 	}
@@ -123,7 +125,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		&estimation.StableFPrior{F: calibFit.Params.F},
 	}
 	opts := estimation.Options{
-		Weighted:       *weighted,
+		Weighted:       *weighted || *wDense,
+		WeightedDense:  *wDense,
 		LinkNoiseSigma: *linkNoise,
 		NoiseSeed:      sc.Seed,
 		Workers:        *workers,
@@ -149,6 +152,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if dropped > 0 {
 			fmt.Fprintf(stderr, "icest: prior %q: %d non-finite error bins excluded from the mean\n",
 				p.Name(), dropped)
+		}
+		if rs.WeightedDenseFallbacks > 0 {
+			fmt.Fprintf(stderr, "icest: prior %q: %d/%d bins fell back to the dense weighted path (LSQR stalled; sweep ran slower than the fast path promises)\n",
+				p.Name(), rs.WeightedDenseFallbacks, rs.Bins)
 		}
 	}
 	fmt.Fprintf(stdout, "calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)

@@ -39,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		f0      = fs.Float64("f0", 0.25, "initial forward ratio")
 		fixF    = fs.Bool("fixf", false, "pin f at -f0 instead of fitting it")
 		binSec  = fs.Int("binsec", 300, "bin length in seconds (metadata only)")
+		workers = fs.Int("workers", 0, "concurrent fitting workers for the per-bin stages (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,7 +62,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("read series: %w", err)
 	}
 
-	opts := fit.Options{F0: *f0, FixF: *fixF}
+	opts := fit.Options{F0: *f0, FixF: *fixF, Workers: *workers}
 	var res *fit.Result
 	switch *variant {
 	case "stable-fp":

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pure     = fs.Bool("pure", false, "generate exactly IC-structured matrices (the paper's §5.5 recipe) instead of noisy evaluation ground truth")
 		format   = fs.String("format", "csv", `output format: "csv" or "json"`)
 		out      = fs.String("out", "-", `output file ("-" = stdout)`)
+		workers  = fs.Int("workers", 0, "concurrent generation workers (0 = all CPUs, 1 = sequential); output is identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *weeks > 0 {
 		sc.Weeks = *weeks
 	}
+	sc.Workers = *workers
 
 	d, err := synth.Generate(sc)
 	if err != nil {

@@ -80,9 +80,17 @@ func NewTMSeries(n, binSeconds int) *TMSeries { return tm.NewSeries(n, binSecond
 // RelL2 is the paper's per-bin relative L2 error metric (eq. 6).
 func RelL2(truth, est *TrafficMatrix) (float64, error) { return tm.RelL2(truth, est) }
 
+// RelL2Spatial is the per-OD-pair relative L2 error across time.
+func RelL2Spatial(truth, est *TMSeries) ([]float64, error) { return tm.RelL2Spatial(truth, est) }
+
 // ErrZeroTruth reports a relative error against an all-zero true matrix
 // with a non-zero estimate (the metric is undefined).
 var ErrZeroTruth = tm.ErrZeroTruth
+
+// ErrZeroPair is RelL2Spatial's per-pair counterpart of ErrZeroTruth: a
+// zero-energy OD pair with a non-zero estimate has no defined relative
+// error.
+var ErrZeroPair = tm.ErrZeroPair
 
 // Closed-form estimators (eqs. 8, 11-12).
 var (

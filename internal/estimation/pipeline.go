@@ -21,10 +21,16 @@ type Options struct {
 	// Weighted switches step 2 from the minimal-L2 correction to the
 	// prior-weighted tomogravity of Zhang et al.: deviations from the
 	// prior are penalized relative to the prior's own magnitude, so
-	// large flows absorb more of the correction. It requires a fresh
-	// factorization per bin and is therefore markedly slower; see
-	// Solver.ProjectWeighted.
+	// large flows absorb more of the correction. The weighted step is
+	// solved by the sparse LSQR fast path (see Solver.ProjectWeighted)
+	// and costs within a small factor of the unweighted projection.
 	Weighted bool
+	// WeightedDense selects the legacy dense per-bin SVD implementation
+	// of the weighted step (Solver.ProjectWeightedDense) and implies
+	// Weighted. It exists for cross-checking the fast path — the two
+	// agree to well below 1e-6 relative — and costs O((L+2n)²·n²) per
+	// bin.
+	WeightedDense bool
 	// LinkNoiseSigma injects multiplicative lognormal noise into the
 	// observed link loads (failure injection / SNMP-error emulation).
 	// The same noisy observation is used for the prior's marginals and
@@ -64,6 +70,10 @@ type BinDiag struct {
 	// reaching tolerance (ErrIPFNoConverge). The estimate is still
 	// usable but honours the measured marginals only approximately.
 	IPFConverged bool
+	// WeightedDenseFallback is true when the weighted step's iterative
+	// solver stalled and the bin fell back to the dense reference path
+	// (correct but ~500x slower; see Solver.ProjectWeightedReport).
+	WeightedDenseFallback bool
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -84,6 +94,11 @@ type RunStats struct {
 	// IPFNonConverged counts bins whose IPF stopped at the sweep budget
 	// without reaching tolerance.
 	IPFNonConverged int
+	// WeightedDenseFallbacks counts bins whose weighted projection fell
+	// back to the dense reference path because LSQR stalled. A non-zero
+	// count on a long sweep means the sweep ran far slower than the
+	// fast path promises — worth surfacing to the operator.
+	WeightedDenseFallbacks int
 }
 
 // EstimateBin runs the full three-step pipeline for one bin: prior →
@@ -104,9 +119,12 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 		return nil, diag, fmt.Errorf("%w: prior %q returned n=%d, want %d", ErrInput, prior.Name(), p.N(), s.rm.N)
 	}
 	var est *tm.TrafficMatrix
-	if opts.Weighted {
-		est, err = s.ProjectWeighted(p, y)
-	} else {
+	switch {
+	case opts.WeightedDense: // implies Weighted
+		est, err = s.ProjectWeightedDense(p, y)
+	case opts.Weighted:
+		est, diag.WeightedDenseFallback, err = s.ProjectWeightedReport(p, y)
+	default:
 		est, err = s.Project(p, y)
 	}
 	if err != nil {
@@ -196,6 +214,9 @@ func RunWithSolverStats(solver *Solver, truth *tm.Series, prior Prior, opts Opti
 		stats.IPFSweepsTotal += r.Diag.IPFSweeps
 		if !r.Diag.IPFConverged {
 			stats.IPFNonConverged++
+		}
+		if r.Diag.WeightedDenseFallback {
+			stats.WeightedDenseFallbacks++
 		}
 	}
 	return out, errsOut, stats, nil

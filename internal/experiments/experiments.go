@@ -141,6 +141,7 @@ func (w *World) Totem() (*synth.Dataset, error) { return w.dataset(synth.TotemLi
 
 func (w *World) dataset(sc synth.Scenario) (*synth.Dataset, error) {
 	sc = w.scaledScenario(sc)
+	sc.Workers = w.cfg.Workers // wall-clock only: output is identical for any value
 	return w.datasets.Get(sc.Name, func() (*synth.Dataset, error) {
 		d, err := synth.Generate(sc)
 		if err != nil {
@@ -158,7 +159,7 @@ func (w *World) WeekFit(d *synth.Dataset, week int) (*fit.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := fit.StableFP(series, fit.Options{})
+		r, err := fit.StableFP(series, fit.Options{Workers: w.cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fit %s: %w", key, err)
 		}

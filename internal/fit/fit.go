@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"ictm/internal/core"
+	"ictm/internal/parallel"
 	"ictm/internal/tm"
 )
 
@@ -58,6 +59,13 @@ type Options struct {
 	// objective, tie-breaking toward f < 1/2 (the physically expected
 	// branch for download-dominated traffic). Costs a second fit.
 	TryMirror bool
+	// Workers bounds how many bins are processed concurrently in the
+	// per-bin stages (the A-steps of StableFP/StableF and the
+	// independent per-bin fits of TimeVarying): 0 selects GOMAXPROCS,
+	// 1 the plain sequential loop. Per-bin work is pure and results are
+	// written into index-keyed slots, so fitted parameters are
+	// bit-identical for every value (the PR 1 determinism contract).
+	Workers int
 }
 
 // Default fills zero fields with defaults and returns the result.
@@ -158,13 +166,19 @@ func StableFP(s *tm.Series, opts Options) (*Result, error) {
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
-		// A-step.
-		var err error
-		for t := 0; t < T; t++ {
-			act[t], err = solveActivities(f, pref, s.At(t))
+		// A-step: each bin's activities depend only on (f, pref, X(t)),
+		// so the bins fan out over the worker pool; every bin writes its
+		// own slot, keeping the result bit-identical for any Workers.
+		err := parallel.ForEach(opts.Workers, T, func(t int) error {
+			a, err := solveActivities(f, pref, s.At(t))
 			if err != nil {
-				return nil, fmt.Errorf("fit: A-step bin %d: %w", t, err)
+				return fmt.Errorf("fit: A-step bin %d: %w", t, err)
 			}
+			act[t] = a
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		// P-step: one accumulated system across all bins. The returned
 		// scale σ is folded into the activities to keep the model value
@@ -228,20 +242,26 @@ func StableF(s *tm.Series, opts Options) (*Result, error) {
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
-		var err error
-		for t := 0; t < T; t++ {
-			act[t], err = solveActivities(f, prefs[t], s.At(t))
+		// A- and per-bin P-steps: bin t touches only act[t]/prefs[t]
+		// given the shared read-only f, so the bins run concurrently
+		// with bit-identical results for any Workers value.
+		err := parallel.ForEach(opts.Workers, T, func(t int) error {
+			a, err := solveActivities(f, prefs[t], s.At(t))
 			if err != nil {
-				return nil, fmt.Errorf("fit: A-step bin %d: %w", t, err)
+				return fmt.Errorf("fit: A-step bin %d: %w", t, err)
 			}
-			var sigma float64
-			prefs[t], sigma, err = solvePrefOneBin(f, act[t], s.At(t))
+			p, sigma, err := solvePrefOneBin(f, a, s.At(t))
 			if err != nil {
-				return nil, fmt.Errorf("fit: P-step bin %d: %w", t, err)
+				return fmt.Errorf("fit: P-step bin %d: %w", t, err)
 			}
-			for i := range act[t] {
-				act[t][i] *= sigma
+			for i := range a {
+				a[i] *= sigma
 			}
+			act[t], prefs[t] = a, p
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if !opts.FixF {
 			f = solveF(act, prefs, s, w, opts.FMin)
@@ -270,7 +290,11 @@ func StableF(s *tm.Series, opts Options) (*Result, error) {
 }
 
 // TimeVarying fits the fully time-varying variant (eq. 3) by running an
-// independent small alternating fit per bin.
+// independent small alternating fit per bin. The per-bin fits share no
+// state beyond the read-only series and initial preference vector, so
+// they fan out over opts.Workers; each bin's result lands in its own
+// slot and the aggregates are folded in bin order afterwards, keeping
+// the fitted parameters bit-identical for every worker count.
 func TimeVarying(s *tm.Series, opts Options) (*Result, error) {
 	if s.Len() == 0 || s.N() == 0 {
 		return nil, fmt.Errorf("%w: empty series", ErrInput)
@@ -286,10 +310,15 @@ func TimeVarying(s *tm.Series, opts Options) (*Result, error) {
 		PrefPerBin: make([][]float64, T),
 		Activity:   make([][]float64, T),
 	}
-	var objSum float64
-	maxIters := 0
 	base := initPref(s)
-	for t := 0; t < T; t++ {
+	type binFit struct {
+		f     float64
+		pref  []float64
+		act   []float64
+		obj   float64
+		iters int
+	}
+	fits, err := parallel.Map(opts.Workers, T, func(t int) (binFit, error) {
 		f := opts.F0
 		pref := append([]float64(nil), base...)
 		var act []float64
@@ -300,19 +329,18 @@ func TimeVarying(s *tm.Series, opts Options) (*Result, error) {
 			wt = 1 / (nrm * nrm)
 		}
 		obj := math.Inf(1)
+		iters := 0
 		for iter := 0; iter < opts.MaxIter; iter++ {
-			if iter+1 > maxIters {
-				maxIters = iter + 1
-			}
+			iters = iter + 1
 			var err error
 			act, err = solveActivities(f, pref, x)
 			if err != nil {
-				return nil, fmt.Errorf("fit: bin %d A-step: %w", t, err)
+				return binFit{}, fmt.Errorf("fit: bin %d A-step: %w", t, err)
 			}
 			var sigma float64
 			pref, sigma, err = solvePrefOneBin(f, act, x)
 			if err != nil {
-				return nil, fmt.Errorf("fit: bin %d P-step: %w", t, err)
+				return binFit{}, fmt.Errorf("fit: bin %d P-step: %w", t, err)
 			}
 			for i := range act {
 				act[i] *= sigma
@@ -327,10 +355,21 @@ func TimeVarying(s *tm.Series, opts Options) (*Result, error) {
 			}
 			obj = newObj
 		}
-		sp.FPerBin[t] = f
-		sp.PrefPerBin[t] = pref
-		sp.Activity[t] = act
-		objSum += obj
+		return binFit{f: f, pref: pref, act: act, obj: obj, iters: iters}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var objSum float64
+	maxIters := 0
+	for t, bf := range fits {
+		sp.FPerBin[t] = bf.f
+		sp.PrefPerBin[t] = bf.pref
+		sp.Activity[t] = bf.act
+		objSum += bf.obj
+		if bf.iters > maxIters {
+			maxIters = bf.iters
+		}
 	}
 	mean, err := meanRelL2(sp, s)
 	if err != nil {

@@ -1,0 +1,87 @@
+package fit
+
+import (
+	"testing"
+
+	"ictm/internal/synth"
+	"ictm/internal/tm"
+)
+
+// fitSeries generates a small noisy series for the determinism checks.
+func fitSeries(t *testing.T) *tm.Series {
+	t.Helper()
+	sc := synth.GeantLike()
+	sc.N = 10
+	sc.BinsPerWeek = 28
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Series
+}
+
+// requireSameResult asserts two fit results are bit-identical in every
+// fitted parameter.
+func requireSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Params.F != b.Params.F {
+		t.Fatalf("%s: f differs: %v vs %v", label, a.Params.F, b.Params.F)
+	}
+	if a.Objective != b.Objective || a.MeanRelL2 != b.MeanRelL2 || a.Iterations != b.Iterations {
+		t.Fatalf("%s: diagnostics differ: %+v vs %+v", label,
+			[3]float64{a.Objective, a.MeanRelL2, float64(a.Iterations)},
+			[3]float64{b.Objective, b.MeanRelL2, float64(b.Iterations)})
+	}
+	pa, pb := a.Params, b.Params
+	for t2 := range pa.Activity {
+		for i := range pa.Activity[t2] {
+			if pa.Activity[t2][i] != pb.Activity[t2][i] {
+				t.Fatalf("%s: activity[%d][%d] differs bitwise", label, t2, i)
+			}
+		}
+	}
+	for i := range pa.Pref {
+		if pa.Pref[i] != pb.Pref[i] {
+			t.Fatalf("%s: pref[%d] differs bitwise", label, i)
+		}
+	}
+	for t2 := range pa.PrefPerBin {
+		for i := range pa.PrefPerBin[t2] {
+			if pa.PrefPerBin[t2][i] != pb.PrefPerBin[t2][i] {
+				t.Fatalf("%s: prefPerBin[%d][%d] differs bitwise", label, t2, i)
+			}
+		}
+	}
+	for t2 := range pa.FPerBin {
+		if pa.FPerBin[t2] != pb.FPerBin[t2] {
+			t.Fatalf("%s: fPerBin[%d] differs bitwise", label, t2)
+		}
+	}
+}
+
+// TestFittersDeterministicAcrossWorkers is the PR 1 determinism
+// contract applied to the newly parallelized fitters: workers=1 and
+// workers=8 must produce bit-identical parameters for every variant.
+func TestFittersDeterministicAcrossWorkers(t *testing.T) {
+	s := fitSeries(t)
+	type variant struct {
+		name string
+		run  func(*tm.Series, Options) (*Result, error)
+	}
+	for _, v := range []variant{
+		{"stable-fp", StableFP},
+		{"stable-f", StableF},
+		{"time-varying", TimeVarying},
+	} {
+		seq, err := v.run(s, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", v.name, err)
+		}
+		par, err := v.run(s, Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", v.name, err)
+		}
+		requireSameResult(t, v.name, seq, par)
+	}
+}

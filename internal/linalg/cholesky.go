@@ -110,8 +110,10 @@ func (c *Cholesky) SolveMatrix(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: Cholesky solve with B %dx%d, want %d rows", ErrShape, b.Rows(), b.Cols(), n)
 	}
 	out := NewMatrix(n, b.Cols())
+	col := make([]float64, n) // one column buffer reused across all solves
 	for j := 0; j < b.Cols(); j++ {
-		x, err := c.Solve(b.Col(j))
+		b.ColInto(j, col)
+		x, err := c.Solve(col)
 		if err != nil {
 			return nil, err
 		}

@@ -120,14 +120,25 @@ func (m *Matrix) Row(i int) []float64 {
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	m.ColInto(j, out)
+	return out
+}
+
+// ColInto copies column j into dst, which must have length Rows. It is
+// the allocation-free form of Col for hot loops that walk many columns
+// (the pseudo-inverse application in estimation and the column solves in
+// Cholesky.SolveMatrix reuse one buffer across all columns).
+func (m *Matrix) ColInto(j int, dst []float64) {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("linalg: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
 	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.data[i*m.cols+j]
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: ColInto dst of %d, want %d rows", len(dst), m.rows))
 	}
-	return out
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
 }
 
 // SetRow copies v into row i.
@@ -218,10 +229,20 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(x))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	m.MulVecTo(out, x)
 	return out, nil
+}
+
+// MulVecTo computes dst = m * x without allocating, panicking on shape
+// mismatch. Together with TMulVecTo it lets *Matrix satisfy the Op
+// interface of the iterative solvers.
+func (m *Matrix) MulVecTo(dst, x []float64) {
+	if m.cols != len(x) || len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecTo %dx%d with x of %d, dst of %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
 }
 
 // TMulVec returns the product of the transpose, mᵀ * x, without forming
@@ -231,16 +252,28 @@ func (m *Matrix) TMulVec(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: tmulvec (%dx%d)ᵀ by vector of %d", ErrShape, m.rows, m.cols, len(x))
 	}
 	out := make([]float64, m.cols)
+	m.TMulVecTo(out, x)
+	return out, nil
+}
+
+// TMulVecTo computes dst = mᵀ * x without allocating, panicking on
+// shape mismatch (the error-returning form is TMulVec).
+func (m *Matrix) TMulVecTo(dst, x []float64) {
+	if m.rows != len(x) || len(dst) != m.cols {
+		panic(fmt.Sprintf("linalg: TMulVecTo (%dx%d)ᵀ with x of %d, dst of %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		row := m.Row(i)
 		for j, v := range row {
-			out[j] += xi * v
+			dst[j] += xi * v
 		}
 	}
-	return out, nil
 }
 
 // AtA returns mᵀ * m computed directly (exploiting symmetry).

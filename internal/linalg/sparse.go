@@ -1,0 +1,124 @@
+package linalg
+
+import "fmt"
+
+// Sparse is an immutable sparse matrix in compressed-sparse-row (CSR)
+// form. The routing matrices of this repository are 0/1 incidence-like
+// matrices with a handful of fractional ECMP entries — a few nonzeros
+// per column out of L+2n rows — so CSR mat-vecs cost O(nnz) instead of
+// the O(rows·cols) a dense product pays, which is the difference between
+// a projection step dominated by the R·x products and one dominated by
+// everything else.
+//
+// A Sparse is safe for concurrent use: it is never mutated after
+// construction.
+type Sparse struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1; row i spans [rowPtr[i], rowPtr[i+1])
+	colIdx     []int     // len nnz, column index per stored entry
+	val        []float64 // len nnz, entry values in row-major order
+}
+
+// SparseFromDense builds the CSR form of a dense matrix, storing exactly
+// the nonzero entries. The input is not retained.
+func SparseFromDense(a *Matrix) *Sparse {
+	m, n := a.Rows(), a.Cols()
+	s := &Sparse{rows: m, cols: n, rowPtr: make([]int, m+1)}
+	nnz := 0
+	for i := 0; i < m; i++ {
+		for _, v := range a.Row(i) {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	s.colIdx = make([]int, 0, nnz)
+	s.val = make([]float64, 0, nnz)
+	for i := 0; i < m; i++ {
+		for j, v := range a.Row(i) {
+			if v != 0 {
+				s.colIdx = append(s.colIdx, j)
+				s.val = append(s.val, v)
+			}
+		}
+		s.rowPtr[i+1] = len(s.val)
+	}
+	return s
+}
+
+// Rows returns the number of rows.
+func (s *Sparse) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *Sparse) Cols() int { return s.cols }
+
+// NNZ returns the number of stored (nonzero) entries.
+func (s *Sparse) NNZ() int { return len(s.val) }
+
+// Dense materializes the matrix back into dense row-major form.
+func (s *Sparse) Dense() *Matrix {
+	out := NewMatrix(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		row := out.Row(i)
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			row[s.colIdx[k]] = s.val[k]
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product s * x.
+func (s *Sparse) MulVec(x []float64) ([]float64, error) {
+	if len(x) != s.cols {
+		return nil, fmt.Errorf("%w: sparse mulvec %dx%d by vector of %d", ErrShape, s.rows, s.cols, len(x))
+	}
+	out := make([]float64, s.rows)
+	s.MulVecTo(out, x)
+	return out, nil
+}
+
+// MulVecTo computes dst = s * x without allocating. It panics on shape
+// mismatch (the error-returning form is MulVec).
+func (s *Sparse) MulVecTo(dst, x []float64) {
+	if len(x) != s.cols || len(dst) != s.rows {
+		panic(fmt.Sprintf("linalg: sparse MulVecTo %dx%d with x of %d, dst of %d", s.rows, s.cols, len(x), len(dst)))
+	}
+	for i := 0; i < s.rows; i++ {
+		var acc float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			acc += s.val[k] * x[s.colIdx[k]]
+		}
+		dst[i] = acc
+	}
+}
+
+// TMulVec returns the product of the transpose, sᵀ * x, without forming
+// the transpose.
+func (s *Sparse) TMulVec(x []float64) ([]float64, error) {
+	if len(x) != s.rows {
+		return nil, fmt.Errorf("%w: sparse tmulvec (%dx%d)ᵀ by vector of %d", ErrShape, s.rows, s.cols, len(x))
+	}
+	out := make([]float64, s.cols)
+	s.TMulVecTo(out, x)
+	return out, nil
+}
+
+// TMulVecTo computes dst = sᵀ * x without allocating. It panics on shape
+// mismatch (the error-returning form is TMulVec).
+func (s *Sparse) TMulVecTo(dst, x []float64) {
+	if len(x) != s.rows || len(dst) != s.cols {
+		panic(fmt.Sprintf("linalg: sparse TMulVecTo (%dx%d)ᵀ with x of %d, dst of %d", s.rows, s.cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < s.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			dst[s.colIdx[k]] += xi * s.val[k]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSparseMatrix returns an m x n dense matrix with roughly the
+// given fill fraction of nonzero entries (routing-matrix-like: mostly
+// zeros, a few positive entries per column).
+func randomSparseMatrix(r *rand.Rand, m, n int, fill float64) *Matrix {
+	a := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j := range row {
+			if r.Float64() < fill {
+				row[j] = r.Float64() + 0.1
+			}
+		}
+	}
+	return a
+}
+
+func TestSparseFromDenseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m, n := 1+r.Intn(20), 1+r.Intn(20)
+		a := randomSparseMatrix(r, m, n, 0.2)
+		s := SparseFromDense(a)
+		if s.Rows() != m || s.Cols() != n {
+			t.Fatalf("trial %d: shape %dx%d, want %dx%d", trial, s.Rows(), s.Cols(), m, n)
+		}
+		back := s.Dense()
+		if !back.Equal(a, 0) {
+			t.Fatalf("trial %d: Dense(SparseFromDense(a)) != a", trial)
+		}
+		nnz := 0
+		for _, v := range a.Data() {
+			if v != 0 {
+				nnz++
+			}
+		}
+		if s.NNZ() != nnz {
+			t.Fatalf("trial %d: NNZ = %d, want %d", trial, s.NNZ(), nnz)
+		}
+	}
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		m, n := 1+r.Intn(25), 1+r.Intn(25)
+		a := randomSparseMatrix(r, m, n, 0.15)
+		s := SparseFromDense(a)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		want, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: MulVec[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+		wantT, err := a.TMulVec(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotT, err := s.TMulVec(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantT {
+			if math.Abs(wantT[i]-gotT[i]) > 1e-12*(1+math.Abs(wantT[i])) {
+				t.Fatalf("trial %d: TMulVec[%d] = %g, want %g", trial, i, gotT[i], wantT[i])
+			}
+		}
+	}
+}
+
+func TestSparseShapeErrors(t *testing.T) {
+	s := SparseFromDense(NewMatrix(3, 2))
+	if _, err := s.MulVec(make([]float64, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec wrong length: err = %v, want ErrShape", err)
+	}
+	if _, err := s.TMulVec(make([]float64, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("TMulVec wrong length: err = %v, want ErrShape", err)
+	}
+}
+
+func TestColScaledMatchesExplicitScaling(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		m, n := 1+r.Intn(15), 1+r.Intn(15)
+		a := randomSparseMatrix(r, m, n, 0.3)
+		scale := make([]float64, n)
+		for j := range scale {
+			scale[j] = r.Float64() + 0.5
+		}
+		// Explicitly scaled dense copy for reference.
+		ref := a.Clone()
+		for i := 0; i < m; i++ {
+			row := ref.Row(i)
+			for j := range row {
+				row[j] *= scale[j]
+			}
+		}
+		op := NewColScaled(SparseFromDense(a), scale)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		got := make([]float64, m)
+		op.MulVecTo(got, x)
+		want, _ := ref.MulVec(x)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: MulVecTo[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+		gotT := make([]float64, n)
+		op.TMulVecTo(gotT, y)
+		wantT, _ := ref.TMulVec(y)
+		for i := range wantT {
+			if math.Abs(wantT[i]-gotT[i]) > 1e-12*(1+math.Abs(wantT[i])) {
+				t.Fatalf("trial %d: TMulVecTo[%d] = %g, want %g", trial, i, gotT[i], wantT[i])
+			}
+		}
+	}
+}
+
+func TestColIntoMatchesCol(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := randomSparseMatrix(r, 9, 6, 0.5)
+	dst := make([]float64, 9)
+	for j := 0; j < 6; j++ {
+		a.ColInto(j, dst)
+		want := a.Col(j)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("ColInto(%d)[%d] = %g, want %g", j, i, dst[i], want[i])
+			}
+		}
+	}
+}

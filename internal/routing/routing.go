@@ -18,6 +18,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ictm/internal/linalg"
 	"ictm/internal/tm"
@@ -28,11 +29,35 @@ import (
 var ErrInput = errors.New("routing: invalid input")
 
 // Matrix is a routing matrix with its layout metadata.
+//
+// R is treated as immutable once the matrix is in use: LinkLoads, the
+// estimation solver and CSR all read a sparse snapshot of R that is
+// built once and never refreshed. Callers modeling routing changes
+// (link failures, re-weighted ECMP) must build a new Matrix rather
+// than mutate R in place — mutations after the first use would be
+// silently invisible to the cached view.
 type Matrix struct {
-	// R is the (L + 2n) x n² routing matrix.
+	// R is the (L + 2n) x n² routing matrix. Do not modify after
+	// construction; see the type comment.
 	R *linalg.Matrix
 	// N is the number of access points; L the number of directed links.
 	N, L int
+
+	// csr caches the sparse (CSR) view of R. Build populates it at
+	// construction; the once-guard covers matrices assembled by hand in
+	// tests. R is incidence-like — a few nonzeros per column out of
+	// L+2n rows — so every mat-vec on the hot estimation path runs on
+	// the sparse form.
+	csrOnce sync.Once
+	csr     *linalg.Sparse
+}
+
+// CSR returns the cached sparse view of R. The view is built once (at
+// construction for Build-produced matrices) and is safe for concurrent
+// use; callers must not mutate R afterwards.
+func (m *Matrix) CSR() *linalg.Sparse {
+	m.csrOnce.Do(func() { m.csr = linalg.SparseFromDense(m.R) })
+	return m.csr
 }
 
 // Build constructs the routing matrix for graph g under shortest-path
@@ -60,18 +85,22 @@ func Build(g *topology.Graph) (*Matrix, error) {
 			r.Set(l+n+j, col, 1) // egress at j
 		}
 	}
-	return &Matrix{R: r, N: n, L: l}, nil
+	m := &Matrix{R: r, N: n, L: l}
+	m.CSR() // build the sparse view once, while construction is single-threaded
+	return m, nil
 }
 
 // Rows returns the total number of measurement rows, L + 2n.
 func (m *Matrix) Rows() int { return m.L + 2*m.N }
 
-// LinkLoads returns Y = R·vec(x) for a traffic matrix x.
+// LinkLoads returns Y = R·vec(x) for a traffic matrix x, computed on
+// the cached sparse view of R (which assumes R is never mutated; see
+// the Matrix type comment).
 func (m *Matrix) LinkLoads(x *tm.TrafficMatrix) ([]float64, error) {
 	if x.N() != m.N {
 		return nil, fmt.Errorf("%w: matrix over %d nodes for n=%d routing", ErrInput, x.N(), m.N)
 	}
-	return m.R.MulVec(x.Vec())
+	return m.CSR().MulVec(x.Vec())
 }
 
 // SplitLoads separates a load vector into its internal-link, ingress and

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"ictm/internal/netflow"
+	"ictm/internal/parallel"
 	"ictm/internal/rng"
 	"ictm/internal/tm"
 )
@@ -88,6 +89,14 @@ type Scenario struct {
 	// thinned by Poisson sampling at this rate, and scaled back up.
 	SamplingRate   float64
 	AvgPacketBytes float64
+
+	// Workers bounds how many bins are generated concurrently: 0
+	// selects GOMAXPROCS, 1 the plain sequential loop. Every per-bin
+	// random stream is derived from the scenario seed and the bin index
+	// (never consumed across bins), so the generated dataset is
+	// bit-identical for every value — Workers tunes wall-clock only and
+	// is deliberately not part of scenario identity.
+	Workers int
 }
 
 // Validate checks the scenario invariants.
@@ -272,9 +281,23 @@ func Generate(sc Scenario) (*Dataset, error) {
 	T := sc.BinsPerWeek * sc.Weeks
 	binsPerDay := sc.BinsPerWeek / 7
 	series := tm.NewSeries(n, sc.BinSeconds)
-	trueAct := make([][]float64, T)
 
-	for t := 0; t < T; t++ {
+	// Per-bin generation: each bin derives its own child of every
+	// variate stream from the bin index (DeriveIndex reads only
+	// construction-time seed material, so derivation is concurrency-safe
+	// and independent of execution order). That makes the bins pure
+	// functions of (scenario, latents, t) and lets them fan out over the
+	// worker pool with bit-identical output for any Workers value.
+	type binOut struct {
+		act []float64
+		x   *tm.TrafficMatrix
+	}
+	bins, err := parallel.Map(sc.Workers, T, func(t int) (binOut, error) {
+		actR := actRng.DeriveIndex(uint64(t))
+		binR := binRng.DeriveIndex(uint64(t))
+		noiseR := noiseRng.DeriveIndex(uint64(t))
+		sampleR := sampleRng.DeriveIndex(uint64(t))
+
 		// Realized activities.
 		act := make([]float64, n)
 		dayPos := 0.0
@@ -293,11 +316,10 @@ func Generate(sc Scenario) (*Dataset, error) {
 			}
 			noise := 1.0
 			if sc.ActivityNoise > 0 {
-				noise = actRng.LogNormal(0, sc.ActivityNoise)
+				noise = actR.LogNormal(0, sc.ActivityNoise)
 			}
 			act[i] = meanAct[i] * shape * noise
 		}
-		trueAct[t] = act
 
 		// General-IC evaluation with per-bin f jitter.
 		x := tm.New(n)
@@ -306,8 +328,8 @@ func Generate(sc Scenario) (*Dataset, error) {
 				fij := pairF[i][j]
 				fji := pairF[j][i]
 				if sc.FTimeJitter > 0 {
-					fij = clampF(fij + binRng.Normal(0, sc.FTimeJitter))
-					fji = clampF(fji + binRng.Normal(0, sc.FTimeJitter))
+					fij = clampF(fij + binR.Normal(0, sc.FTimeJitter))
+					fji = clampF(fji + binR.Normal(0, sc.FTimeJitter))
 				}
 				v := fij*act[i]*pref[j] + (1-fji)*act[j]*pref[i]
 				x.Set(i, j, v)
@@ -323,18 +345,26 @@ func Generate(sc Scenario) (*Dataset, error) {
 		// Measurement noise.
 		if sc.NoiseSigma > 0 {
 			for k, v := range x.Vec() {
-				x.Vec()[k] = v * noiseRng.LogNormal(0, sc.NoiseSigma)
+				x.Vec()[k] = v * noiseR.LogNormal(0, sc.NoiseSigma)
 			}
 		}
 		if sc.SamplingRate > 0 {
 			if err := netflow.SampleInPlace(x, netflow.Config{
 				Rate:           sc.SamplingRate,
 				AvgPacketBytes: sc.AvgPacketBytes,
-			}, sampleRng); err != nil {
-				return nil, err
+			}, sampleR); err != nil {
+				return binOut{}, err
 			}
 		}
-		if err := series.Append(x); err != nil {
+		return binOut{act: act, x: x}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	trueAct := make([][]float64, T)
+	for t, b := range bins {
+		trueAct[t] = b.act
+		if err := series.Append(b.x); err != nil {
 			return nil, err
 		}
 	}

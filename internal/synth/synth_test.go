@@ -272,3 +272,39 @@ func TestPresetsValid(t *testing.T) {
 		t.Error("TotemLike should be noisier than GeantLike")
 	}
 }
+
+// TestGenerateDeterministicAcrossWorkers is the PR 1 determinism
+// contract applied to parallel generation: workers=1 and workers=8 must
+// produce bit-identical datasets (series, latents, realized activities).
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	seq := small()
+	seq.Workers = 1
+	par := small()
+	par.Workers = 8
+	d1, err := Generate(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tb := 0; tb < d1.Series.Len(); tb++ {
+		v1, v2 := d1.Series.At(tb).Vec(), d2.Series.At(tb).Vec()
+		for k := range v1 {
+			if v1[k] != v2[k] {
+				t.Fatalf("bin %d entry %d differs bitwise: %g vs %g", tb, k, v1[k], v2[k])
+			}
+		}
+		for i := range d1.TrueActivity[tb] {
+			if d1.TrueActivity[tb][i] != d2.TrueActivity[tb][i] {
+				t.Fatalf("bin %d activity %d differs bitwise", tb, i)
+			}
+		}
+	}
+	for i := range d1.TruePref {
+		if d1.TruePref[i] != d2.TruePref[i] {
+			t.Fatalf("pref %d differs bitwise", i)
+		}
+	}
+}

@@ -12,6 +12,13 @@ import (
 // as unmeasurable rather than fold an infinity into mean-error reports.
 var ErrZeroTruth = errors.New("tm: relative error undefined for zero true matrix")
 
+// ErrZeroPair is RelL2Spatial's per-pair counterpart of ErrZeroTruth:
+// an OD pair with zero true energy across every bin but a non-zero
+// estimate has no defined relative error. Callers that previously
+// received a silent per-pair +Inf should treat the pair as unmeasurable
+// rather than fold an infinity into spatial-error summaries.
+var ErrZeroPair = errors.New("tm: per-pair relative error undefined for zero-energy pair")
+
 // RelL2 returns the relative L2 error between an estimate and the true
 // matrix at one time bin (equation 6 of the paper):
 //
@@ -61,7 +68,18 @@ func RelL2Series(truth, est *Series) ([]float64, error) {
 // RelL2Spatial returns the per-OD-pair relative L2 error across time
 // (the "spatial" counterpart used in the TM-estimation literature):
 // for pair p, ||x_p - x̂_p||₂ over bins divided by ||x_p||₂.
-// Pairs with zero true energy and zero estimate error report 0.
+//
+// Pairs with zero true energy and zero estimate error report 0. A pair
+// with zero true energy but a non-zero estimate has no defined relative
+// error: such pairs are marked NaN in the returned slice and the call
+// additionally returns an error wrapping ErrZeroPair naming the first
+// one. The slice is always fully populated on an ErrZeroPair return, so
+// callers may either treat the error as fatal or errors.Is-match it,
+// keep the vector, and skip the NaN pairs — previously this case
+// silently emitted a per-pair +Inf, which poisoned any mean taken over
+// the spatial errors downstream. (Estimates that spread small positive
+// mass everywhere — gravity-like priors — hit this on any idle OD pair,
+// so the partial result matters for sparse traffic.)
 func RelL2Spatial(truth, est *Series) ([]float64, error) {
 	if truth.N() != est.N() || truth.Len() != est.Len() {
 		return nil, fmt.Errorf("%w: RelL2Spatial shape mismatch", ErrShape)
@@ -79,6 +97,7 @@ func RelL2Spatial(truth, est *Series) ([]float64, error) {
 		}
 	}
 	out := make([]float64, n*n)
+	var zeroErr error
 	for k := range out {
 		switch {
 		case den[k] > 0:
@@ -86,10 +105,15 @@ func RelL2Spatial(truth, est *Series) ([]float64, error) {
 		case num[k] == 0:
 			out[k] = 0
 		default:
-			out[k] = math.Inf(1)
+			out[k] = math.NaN()
+			if zeroErr == nil {
+				i, j := PairFromIndex(n, k)
+				zeroErr = fmt.Errorf("%w: pair (%d,%d) carries %g of estimated mass",
+					ErrZeroPair, i, j, math.Sqrt(num[k]))
+			}
 		}
 	}
-	return out, nil
+	return out, zeroErr
 }
 
 // ImprovementPercent returns the percentage improvement of errNew over

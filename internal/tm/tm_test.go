@@ -282,6 +282,44 @@ func TestRelL2Spatial(t *testing.T) {
 	}
 }
 
+func TestRelL2SpatialZeroPair(t *testing.T) {
+	// Pair (0,1) carries no true energy. A zero estimate there is a
+	// perfect 0; a non-zero estimate has no defined relative error and
+	// must surface ErrZeroPair instead of a silent per-pair +Inf.
+	truth := NewSeries(2, 300)
+	est := NewSeries(2, 300)
+	for k := 0; k < 3; k++ {
+		m := New(2)
+		m.Set(0, 0, 5)
+		m.Set(1, 1, 5)
+		_ = truth.Append(m)
+		_ = est.Append(m.Clone())
+	}
+	sp, err := RelL2Spatial(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[PairIndex(2, 0, 1)] != 0 {
+		t.Errorf("zero pair with zero estimate = %g, want 0", sp[PairIndex(2, 0, 1)])
+	}
+	est.At(1).Set(0, 1, 2) // phantom mass on a zero-energy pair
+	sp, err = RelL2Spatial(truth, est)
+	if !errors.Is(err, ErrZeroPair) {
+		t.Errorf("err = %v, want ErrZeroPair", err)
+	}
+	// The vector is still fully populated: degenerate pairs are NaN,
+	// every other pair keeps its defined error.
+	if sp == nil {
+		t.Fatal("ErrZeroPair must come with the populated vector")
+	}
+	if !math.IsNaN(sp[PairIndex(2, 0, 1)]) {
+		t.Errorf("degenerate pair = %g, want NaN", sp[PairIndex(2, 0, 1)])
+	}
+	if sp[PairIndex(2, 0, 0)] != 0 || sp[PairIndex(2, 1, 1)] != 0 {
+		t.Error("well-defined pairs must survive an ErrZeroPair return")
+	}
+}
+
 func TestImprovementPercent(t *testing.T) {
 	if got := ImprovementPercent(0.4, 0.3); math.Abs(got-25) > 1e-12 {
 		t.Errorf("improvement = %g, want 25", got)
