@@ -220,6 +220,96 @@ func BenchmarkTomogravityProject(b *testing.B) {
 	}
 }
 
+// --- solver-startup benchmarks (eager dense SVD vs sparse-first) ---
+
+// benchISPRouting builds the backbone-stub routing matrix of the
+// ISPLike family at the given n.
+func benchISPRouting(b *testing.B, n int) *RoutingMatrix {
+	b.Helper()
+	g, err := topology.BackboneStub(n, 0, synth.ISPLike(n).Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rm
+}
+
+// BenchmarkNewSolverSparse measures the default solver startup at n=50:
+// O(nnz) bookkeeping, no factorization. The PR 3 acceptance criterion
+// requires >= 10x over BenchmarkNewSolverDenseSVD at this scale.
+func BenchmarkNewSolverSparse(b *testing.B) {
+	rm := benchISPRouting(b, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimation.NewSolver(rm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewSolverDenseSVD measures the seed's startup on identical
+// inputs: the eager Jacobi SVD of R that every run used to pay before a
+// single bin was estimated (now reached only via FactorDense or the
+// dense cross-check paths).
+func BenchmarkNewSolverDenseSVD(b *testing.B) {
+	rm := benchISPRouting(b, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver, err := estimation.NewSolver(rm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := solver.FactorDense(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ISP-like large-topology estimation benchmarks ---
+
+// benchEstimationISPLike runs the full unweighted pipeline (solver
+// startup + per-bin LSQR projection + IPF) over a reduced-bin ISPLike
+// week at the given n. Infeasible for n in the hundreds before the
+// sparse-first solver: the startup SVD alone was O((L+2n)²·n²).
+func benchEstimationISPLike(b *testing.B, n int) {
+	b.Helper()
+	sc := synth.ISPLike(n)
+	sc.BinsPerWeek = 7
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm := benchISPRouting(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver, err := estimation.NewSolver(rm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := estimation.RunWithSolver(solver, d.Series, GravityPrior{}, EstimationOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimationISPLike50 estimates a reduced ISPLike(50) week.
+func BenchmarkEstimationISPLike50(b *testing.B) { benchEstimationISPLike(b, 50) }
+
+// BenchmarkEstimationISPLike100 estimates a reduced ISPLike(100) week
+// (the scale CI's bench-smoke step exercises every run).
+func BenchmarkEstimationISPLike100(b *testing.B) { benchEstimationISPLike(b, 100) }
+
+// BenchmarkEstimationISPLike200 estimates a reduced ISPLike(200) week —
+// 40 000 OD flows per bin.
+func BenchmarkEstimationISPLike200(b *testing.B) { benchEstimationISPLike(b, 200) }
+
 // --- weighted-projection benchmarks (dense SVD vs sparse LSQR) ---
 
 // benchWeightedSetup builds the shared fixtures of the weighted

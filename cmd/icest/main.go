@@ -1,12 +1,14 @@
 // Command icest runs the TM-estimation comparison of Section 6 on a
-// synthetic scenario: it generates ground truth, builds a Waxman
-// topology and ECMP routing matrix, runs the tomogravity pipeline with
-// the gravity prior and the three IC priors, and prints per-prior error
-// summaries.
+// synthetic scenario: it generates ground truth, builds a topology
+// (Waxman for the geant/totem presets, backbone-plus-stub for the
+// parameterized isp family) and its ECMP routing matrix, runs the
+// tomogravity pipeline with the gravity prior and the three IC priors,
+// and prints per-prior error summaries.
 //
 // Usage:
 //
 //	icest -scenario geant -weeks 2 -scale 0.1 -workers 0
+//	icest -scenario isp -n 200 -scale 0.02
 package main
 
 import (
@@ -37,10 +39,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("icest", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario  = fs.String("scenario", "geant", `preset: "geant" or "totem"`)
+		scenario  = fs.String("scenario", "geant", `preset: "geant", "totem" or "isp" (parameterized by -n)`)
+		nodes     = fs.Int("n", 100, `PoP count for the "isp" scenario family (ignored by geant/totem)`)
 		weeks     = fs.Int("weeks", 2, "weeks to generate (week 0 calibrates, week 1 is estimated)")
 		scale     = fs.Float64("scale", 0.25, "bins-per-week scale factor (1 = full paper scale)")
 		seed      = fs.Uint64("seed", 0, "override scenario seed (0 = preset default)")
+		dense     = fs.Bool("dense", false, "force the dense SVD reference path for the unweighted step (cross-check; pays the one-time factorization the default path avoids)")
 		weighted  = fs.Bool("weighted", false, "use prior-weighted tomogravity (sparse LSQR fast path)")
 		wDense    = fs.Bool("weighted-dense", false, "force the legacy dense per-bin SVD for the weighted step (reference; markedly slower)")
 		linkNoise = fs.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
@@ -53,12 +57,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *dense && (*weighted || *wDense) {
+		return fmt.Errorf("-dense applies to the unweighted step and is incompatible with -weighted/-weighted-dense")
+	}
 	var sc synth.Scenario
 	switch *scenario {
 	case "geant":
 		sc = synth.GeantLike()
 	case "totem":
 		sc = synth.TotemLike()
+	case "isp":
+		sc = synth.ISPLike(*nodes)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -102,7 +111,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("target fit: %w", err)
 	}
 
-	g, err := topology.Waxman(sc.N, 0.6, 0.4, sc.Seed)
+	// The ISP family pairs with its backbone-plus-stub topology; the
+	// paper-scale presets keep their Waxman graphs.
+	var g *topology.Graph
+	if *scenario == "isp" {
+		g, err = topology.BackboneStub(sc.N, 0, sc.Seed)
+	} else {
+		g, err = topology.Waxman(sc.N, 0.6, 0.4, sc.Seed)
+	}
 	if err != nil {
 		return fmt.Errorf("topology: %w", err)
 	}
@@ -127,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := estimation.Options{
 		Weighted:       *weighted || *wDense,
 		WeightedDense:  *wDense,
+		Dense:          *dense,
 		LinkNoiseSigma: *linkNoise,
 		NoiseSeed:      sc.Seed,
 		Workers:        *workers,
@@ -156,6 +173,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if rs.WeightedDenseFallbacks > 0 {
 			fmt.Fprintf(stderr, "icest: prior %q: %d/%d bins fell back to the dense weighted path (LSQR stalled; sweep ran slower than the fast path promises)\n",
 				p.Name(), rs.WeightedDenseFallbacks, rs.Bins)
+		}
+		if rs.ProjectStalls > 0 {
+			fmt.Fprintf(stderr, "icest: prior %q: %d/%d bins stalled in the unweighted LSQR solve (dense reference used when affordable, almost-converged iterate otherwise)\n",
+				p.Name(), rs.ProjectStalls, rs.Bins)
 		}
 	}
 	fmt.Fprintf(stdout, "calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)

@@ -2,9 +2,19 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/icest -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRunBadFlags(t *testing.T) {
 	var out, errBuf bytes.Buffer
@@ -31,6 +41,104 @@ func TestRunTinyEndToEnd(t *testing.T) {
 	for _, want := range []string{"gravity", "fanout", "ic-optimal", "ic-stable-fP", "ic-stable-f", "IPF non-conv", "calibrated f"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestRunGoldenGeant pins the exact report of a fixed GeantLike run.
+// The pipeline is bit-deterministic for any worker count, so the bytes
+// printed here are a regression snapshot of the whole estimation stack:
+// a future solver refactor that silently shifts estimates fails this
+// test instead of drifting unnoticed. Regenerate deliberately with
+// -update after a change that is supposed to move the numbers.
+func TestRunGoldenGeant(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scenario", "geant", "-scale", "0.02", "-weeks", "2"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_geant_scale002.txt")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("report drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestRunISPScenario drives the parameterized large-topology family
+// end to end at a small n (the hundred-node scales live in the
+// benchmarks; this covers the CLI wiring: -scenario isp -n, the
+// backbone-stub topology, and the sparse-first solver under it).
+func TestRunISPScenario(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scenario", "isp", "-n", "20", "-scale", "0.01", "-weeks", "2"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gravity") {
+		t.Errorf("isp report missing priors:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "isp-20") {
+		t.Errorf("progress log should name the isp-20 scenario:\n%s", errBuf.String())
+	}
+}
+
+// TestRunDenseFlagMatchesFast: the -dense cross-check path must print
+// the same report as the default iterative path, and -dense must reject
+// the weighted flags. The two solvers agree to ~1e-8 relative, which is
+// far below the printed precision — but a value sitting exactly on a
+// rounding boundary could still flip the last printed digit, so numeric
+// tokens are compared within one unit of their own last decimal place
+// instead of byte-for-byte.
+func TestRunDenseFlagMatchesFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the dense path pays the one-time scenario-scale SVD")
+	}
+	var fast, dense, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "0.01", "-weeks", "2"}, &fast, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.01", "-weeks", "2", "-dense"}, &dense, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	reportsAlmostEqual(t, fast.String(), dense.String())
+	if err := run([]string{"-dense", "-weighted"}, &fast, &errBuf); err == nil {
+		t.Error("-dense with -weighted must fail")
+	}
+}
+
+// reportsAlmostEqual compares two reports token by token: numeric tokens
+// must agree within ~1 unit in their last printed decimal place, all
+// other tokens exactly.
+func reportsAlmostEqual(t *testing.T, a, b string) {
+	t.Helper()
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	if len(ta) != len(tb) {
+		t.Fatalf("reports differ in shape:\n--- a\n%s--- b\n%s", a, b)
+	}
+	for i := range ta {
+		fa, errA := strconv.ParseFloat(ta[i], 64)
+		fb, errB := strconv.ParseFloat(tb[i], 64)
+		if errA != nil || errB != nil {
+			if ta[i] != tb[i] {
+				t.Errorf("token %d: %q vs %q", i, ta[i], tb[i])
+			}
+			continue
+		}
+		tol := 1e-9
+		if dot := strings.IndexByte(ta[i], '.'); dot >= 0 {
+			tol = 1.5 * math.Pow(10, -float64(len(ta[i])-dot-1))
+		}
+		if math.Abs(fa-fb) > tol {
+			t.Errorf("token %d: %g vs %g (tol %g)", i, fa, fb, tol)
 		}
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	icgen -scenario geant -weeks 1 -out tm.csv
 //	icgen -scenario totem -format json -out tm.json
+//	icgen -scenario isp -n 100 -weeks 1 -out isp100.csv
 //	icgen -n 10 -bins 336 -f 0.3 -seed 7 -out custom.csv
 //
 // With no -scenario, a custom scenario is assembled from the -n, -bins,
@@ -37,9 +38,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("icgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario = fs.String("scenario", "", `preset: "geant" or "totem" (empty = custom)`)
-		n        = fs.Int("n", 12, "custom: number of access points")
-		bins     = fs.Int("bins", 672, "custom: bins per week")
+		scenario = fs.String("scenario", "", `preset: "geant", "totem" or "isp" (empty = custom)`)
+		n        = fs.Int("n", 12, "custom or isp: number of access points")
+		bins     = fs.Int("bins", 672, "bins per week (custom default; overrides presets only when set explicitly)")
 		weeks    = fs.Int("weeks", 1, "number of weeks to generate (presets are truncated/extended)")
 		f        = fs.Float64("f", 0.25, "custom: mean forward ratio")
 		seed     = fs.Uint64("seed", 1, "custom: random seed")
@@ -83,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc = synth.GeantLike()
 	case "totem":
 		sc = synth.TotemLike()
+	case "isp":
+		sc = synth.ISPLike(*n)
 	case "":
 		sc = synth.GeantLike()
 		sc.Name = "custom"
@@ -91,11 +94,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.F = *f
 		sc.Seed = *seed
 	default:
-		return fmt.Errorf("unknown scenario %q (want geant, totem, or empty)", *scenario)
+		return fmt.Errorf("unknown scenario %q (want geant, totem, isp, or empty)", *scenario)
 	}
 	if *weeks > 0 {
 		sc.Weeks = *weeks
 	}
+	// An explicit -bins overrides the preset's bins/week (a 2016-bin
+	// ISPLike(200) week is 80M OD entries; reduced-bin realizations are
+	// how the large family stays usable from the CLI).
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "bins" {
+			sc.BinsPerWeek = *bins
+		}
+	})
 	sc.Workers = *workers
 
 	d, err := synth.Generate(sc)

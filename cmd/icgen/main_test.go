@@ -74,3 +74,18 @@ func TestRunDeterministic(t *testing.T) {
 		t.Error("same seed produced different CSV output")
 	}
 }
+
+// TestRunISPScenario: the parameterized family must be reachable from
+// the CLI, with -n setting the PoP count (reduced bins keep it fast).
+func TestRunISPScenario(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scenario", "isp", "-n", "30", "-bins", "14", "-weeks", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("isp scenario wrote no CSV")
+	}
+	if !strings.Contains(errBuf.String(), "isp-30") {
+		t.Errorf("progress log should name isp-30:\n%s", errBuf.String())
+	}
+}

@@ -19,10 +19,10 @@
 //     (internal/fit)
 //   - gravity baseline: GravityEstimate, GravityFromMarginals
 //     (internal/gravity)
-//   - synthetic scenarios: GenerateScenario, GeantLike, TotemLike
-//     (internal/synth)
-//   - topology + routing: NewWaxman, NewRingChords, BuildRouting
-//     (internal/topology, internal/routing)
+//   - synthetic scenarios: GenerateScenario, GeantLike, TotemLike,
+//     ISPLike (internal/synth)
+//   - topology + routing: NewWaxman, NewRingChords, NewBackboneStub,
+//     BuildRouting (internal/topology, internal/routing)
 //   - TM estimation: EstimateTMs, priors, IPF (internal/estimation)
 //   - packet traces: GenerateTrace, AnalyzeTrace (internal/packet)
 //   - figure regeneration: RunAllExperiments (internal/experiments)
@@ -159,6 +159,10 @@ var (
 	GeantLike = synth.GeantLike
 	// TotemLike is the D2 (Totem) stand-in preset.
 	TotemLike = synth.TotemLike
+	// ISPLike is the parameterized large-topology family: GeantLike's
+	// marginal/diurnal shape targets generalized to arbitrary n (pair it
+	// with NewBackboneStub(n, 0, seed)).
+	ISPLike = synth.ISPLike
 	// GenerateScenario realizes a scenario deterministically.
 	GenerateScenario = synth.Generate
 )
@@ -176,7 +180,12 @@ var (
 	NewWaxman = topology.Waxman
 	// NewRingChords generates a ring-plus-chords topology.
 	NewRingChords = topology.RingChords
-	// BuildRouting constructs the ECMP routing matrix for a graph.
+	// NewBackboneStub generates the ISP-style backbone-plus-stub
+	// topology behind the ISPLike scenario family (core <= 0 selects the
+	// default backbone size).
+	NewBackboneStub = topology.BackboneStub
+	// BuildRouting constructs the ECMP routing matrix for a graph,
+	// assembled directly in sparse (CSR) form.
 	BuildRouting = routing.Build
 )
 

@@ -31,6 +31,13 @@ type Options struct {
 	// agree to well below 1e-6 relative — and costs O((L+2n)²·n²) per
 	// bin.
 	WeightedDense bool
+	// Dense selects the dense SVD reference implementation of the
+	// unweighted step (Solver.ProjectDense). It exists for cross-checking
+	// the iterative fast path — the two agree to well below 1e-8
+	// relative — and pays the one-time O((L+2n)²·n²) factorization the
+	// default path eliminated. Ignored when Weighted/WeightedDense is
+	// set.
+	Dense bool
 	// LinkNoiseSigma injects multiplicative lognormal noise into the
 	// observed link loads (failure injection / SNMP-error emulation).
 	// The same noisy observation is used for the prior's marginals and
@@ -74,6 +81,12 @@ type BinDiag struct {
 	// solver stalled and the bin fell back to the dense reference path
 	// (correct but ~500x slower; see Solver.ProjectWeightedReport).
 	WeightedDenseFallback bool
+	// ProjectStalled is the unweighted counterpart: the bin's LSQR solve
+	// hit its iteration budget before tolerance. The estimate came from
+	// the dense SVD reference path when affordable at the problem's
+	// scale, and from the almost-converged iterate otherwise (see
+	// Solver.ProjectReport).
+	ProjectStalled bool
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -99,6 +112,11 @@ type RunStats struct {
 	// count on a long sweep means the sweep ran far slower than the
 	// fast path promises — worth surfacing to the operator.
 	WeightedDenseFallbacks int
+	// ProjectStalls counts bins whose unweighted projection stalled
+	// before tolerance (see BinDiag.ProjectStalled). A non-zero count is
+	// worth surfacing: those bins either paid for the dense reference or
+	// carry an almost-converged estimate.
+	ProjectStalls int
 }
 
 // EstimateBin runs the full three-step pipeline for one bin: prior →
@@ -124,8 +142,10 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 		est, err = s.ProjectWeightedDense(p, y)
 	case opts.Weighted:
 		est, diag.WeightedDenseFallback, err = s.ProjectWeightedReport(p, y)
+	case opts.Dense:
+		est, err = s.ProjectDense(p, y)
 	default:
-		est, err = s.Project(p, y)
+		est, diag.ProjectStalled, err = s.ProjectReport(p, y)
 	}
 	if err != nil {
 		return nil, diag, fmt.Errorf("estimation: project bin %d: %w", t, err)
@@ -217,6 +237,9 @@ func RunWithSolverStats(solver *Solver, truth *tm.Series, prior Prior, opts Opti
 		}
 		if r.Diag.WeightedDenseFallback {
 			stats.WeightedDenseFallbacks++
+		}
+		if r.Diag.ProjectStalled {
+			stats.ProjectStalls++
 		}
 	}
 	return out, errsOut, stats, nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ictm/internal/linalg"
 	"ictm/internal/routing"
@@ -18,38 +19,82 @@ import (
 var ErrIPFNoConverge = errors.New("estimation: IPF did not converge")
 
 // Solver performs the tomogravity least-squares projection (step 2).
-// It caches the SVD of the routing matrix so the per-bin work of the
-// unweighted path is two matrix-vector products, and it runs every
-// residual product on the routing matrix's sparse (CSR) view.
+// Both the unweighted and the weighted paths are iterative: each bin is
+// a damped LSQR solve against the routing matrix's sparse (CSR) view, so
+// constructing a Solver is O(nnz) and per-bin work is a few dozen sparse
+// mat-vecs. The dense Jacobi SVD of R — formerly computed eagerly by
+// NewSolver, an O((L+2n)²·n²) startup that capped every run at toy
+// topology sizes — survives only as a lazily-factored reference used by
+// the ProjectDense/ProjectWeightedDense cross-check paths and the rare
+// LSQR-stall fallback.
 //
 // A Solver is safe for concurrent use once constructed: the routing
-// matrix, its CSR view and its factorization (rm.R, svd.U/S/V, cut) are
-// never written after NewSolver returns, and Project/ProjectWeighted
-// allocate all working storage (residuals, correction vectors, the
-// per-call LSQR state of the weighted variant) per call instead of
-// sharing scratch buffers. RunWithSolverStats relies on this to
-// estimate bins in parallel against one shared factorization.
+// matrix and its CSR view are never written after NewSolver returns, the
+// lazy dense factorization is guarded by a sync.Once, and every Project*
+// variant allocates all working storage (residuals, correction vectors,
+// per-call LSQR state) per call instead of sharing scratch buffers.
+// RunWithSolverStats relies on this to estimate bins in parallel against
+// one shared solver.
 type Solver struct {
-	rm  *routing.Matrix
-	svd *linalg.SVD
-	// cut is the singular-value cutoff below which directions are
-	// treated as null space (R is always rank deficient: ingress rows
-	// sum to the same total as egress rows).
-	cut float64
+	rm *routing.Matrix
+
+	// svdOnce guards the lazy dense factorization below. svd and cut
+	// (the singular-value cutoff below which directions are treated as
+	// null space — R is always rank deficient: ingress rows sum to the
+	// same total as egress rows) are written exactly once, by the first
+	// caller that needs the dense reference path.
+	svdOnce sync.Once
+	svd     *linalg.SVD
+	svdErr  error
+	cut     float64
 }
 
-// NewSolver factors the routing matrix. The factorization is reused
-// across bins and priors.
+// NewSolver prepares a solver for the routing matrix. It is cheap —
+// O(nnz) of bookkeeping, no factorization — so hundred-node topologies
+// start instantly; the dense SVD is factored lazily if and when a dense
+// cross-check path is first used (see FactorDense).
 func NewSolver(rm *routing.Matrix) (*Solver, error) {
-	svd, err := linalg.NewSVD(rm.R)
+	if rm == nil || rm.CSR() == nil {
+		return nil, fmt.Errorf("%w: nil routing matrix", ErrInput)
+	}
+	return &Solver{rm: rm}, nil
+}
+
+// FactorDense forces the lazy dense SVD factorization of R, returning
+// any factorization error. Calling it is never required — ProjectDense
+// and the stall fallback trigger it on demand — but a caller about to
+// run a dense cross-check sweep can pre-pay the one-time cost here
+// instead of inside the first estimated bin.
+func (s *Solver) FactorDense() error {
+	s.svdOnce.Do(func() {
+		svd, err := linalg.NewSVD(s.rm.Dense())
+		if err != nil {
+			s.svdErr = fmt.Errorf("estimation: SVD of routing matrix: %w", err)
+			return
+		}
+		s.svd = svd
+		if len(svd.S) > 0 {
+			s.cut = 1e-10 * svd.S[0]
+		}
+	})
+	return s.svdErr
+}
+
+// unweightedSetup validates the inputs of the unweighted projection and
+// returns the measurement-space residual y − R·prior, computed on the
+// sparse routing view.
+func (s *Solver) unweightedSetup(prior *tm.TrafficMatrix, y []float64) ([]float64, error) {
+	if prior.N() != s.rm.N {
+		return nil, fmt.Errorf("%w: prior over %d nodes for n=%d routing", ErrInput, prior.N(), s.rm.N)
+	}
+	if len(y) != s.rm.Rows() {
+		return nil, fmt.Errorf("%w: y of %d, want %d", ErrInput, len(y), s.rm.Rows())
+	}
+	rp, err := s.rm.CSR().MulVec(prior.Vec())
 	if err != nil {
-		return nil, fmt.Errorf("estimation: SVD of routing matrix: %w", err)
+		return nil, err
 	}
-	cut := 0.0
-	if len(svd.S) > 0 {
-		cut = 1e-10 * svd.S[0]
-	}
-	return &Solver{rm: rm, svd: svd, cut: cut}, nil
+	return linalg.SubVec(y, rp), nil
 }
 
 // Project returns the minimal-L2 correction of the prior onto the
@@ -59,26 +104,78 @@ func NewSolver(rm *routing.Matrix) (*Solver, error) {
 //
 // which among all x with R·x = y (in the least-squares sense when y is
 // noisy/inconsistent) is the one closest to the prior in Euclidean norm.
-// The result can contain small negative entries; the caller is expected
-// to clamp and re-balance (see EstimateBin).
+// The correction z = R⁺·(y − R·prior) is the minimum-norm least-squares
+// solution of R·z = y − R·prior, obtained by LSQR on the sparse view —
+// no factorization, O(iterations · nnz) per bin. The result can contain
+// small negative entries; the caller is expected to clamp and re-balance
+// (see EstimateBin).
 func (s *Solver) Project(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
-	if prior.N() != s.rm.N {
-		return nil, fmt.Errorf("%w: prior over %d nodes for n=%d routing", ErrInput, prior.N(), s.rm.N)
+	est, _, err := s.ProjectReport(prior, y)
+	return est, err
+}
+
+// denseFallbackMaxFlops bounds the routing matrices for which a stalled
+// iterative solve may escalate to the dense SVD reference, measured by
+// the factorization's dominant cost rows²·cols (per sweep of one-sided
+// Jacobi on the transposed R). 5e7 admits the paper-scale networks
+// (n≈22: ~1e7, a 1–2 s factorization measured) and refuses n≈50 and up
+// (~1.4e8, ~21 s measured — BenchmarkNewSolverDenseSVD in
+// BENCH_pr3.json), where a stalled bin keeps LSQR's almost-converged
+// iterate instead of turning one bad bin into a run-killing SVD.
+const denseFallbackMaxFlops = 5e7
+
+// ProjectReport is Project, additionally reporting whether the bin's
+// iterative solve stalled (hit its iteration budget before tolerance).
+// The routing systems of this repository converge in a few dozen
+// iterations, so a stall is exceptional. A stalled bin still produces an
+// estimate: from the dense SVD reference path when the factorization is
+// affordable at the problem's scale (see denseFallbackMaxFlops), and
+// from LSQR's almost-converged minimum-norm iterate otherwise. Either
+// way the stall is reported, so the pipeline can count it
+// (BinDiag/RunStats) instead of hiding a quality or cost surprise.
+func (s *Solver) ProjectReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, stalled bool, err error) {
+	res, err := s.unweightedSetup(prior, y)
+	if err != nil {
+		return nil, false, err
 	}
-	if len(y) != s.rm.Rows() {
-		return nil, fmt.Errorf("%w: y of %d, want %d", ErrInput, len(y), s.rm.Rows())
+	csr := s.rm.CSR()
+	z, rep, err := linalg.LSQR(csr, res, linalg.LSQROptions{})
+	if err != nil {
+		return nil, false, fmt.Errorf("estimation: projection: %w", err)
 	}
-	// Residual in measurement space, via the sparse routing view.
-	rp, err := s.rm.CSR().MulVec(prior.Vec())
+	rows := float64(csr.Rows())
+	if !rep.Converged && rows*rows*float64(csr.Cols()) <= denseFallbackMaxFlops {
+		est, err := s.ProjectDense(prior, y)
+		return est, true, err
+	}
+	out := prior.Clone()
+	ov := out.Vec()
+	for i := range ov {
+		ov[i] += z[i]
+	}
+	return out, !rep.Converged, nil
+}
+
+// ProjectDense is the dense reference implementation of Project: it
+// applies the pseudo-inverse R⁺ = V Σ⁺ Uᵀ through the lazily-cached SVD
+// of R. Selected by Options.Dense (icest -dense) for cross-checking the
+// iterative fast path — the two agree to well below 1e-8 relative,
+// enforced by tests. The first call pays the one-time O((L+2n)²·n²)
+// Jacobi factorization that NewSolver used to pay eagerly; per-bin work
+// after that is two dense matrix-vector products.
+func (s *Solver) ProjectDense(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
+	res, err := s.unweightedSetup(prior, y)
 	if err != nil {
 		return nil, err
 	}
-	res := linalg.SubVec(y, rp)
-	// Apply R⁺ = V Σ⁺ Uᵀ to the residual using the cached SVD. U and V
-	// are walked column-by-column; ColInto into two reused buffers keeps
-	// the inner products on contiguous memory instead of strided At calls.
+	if err := s.FactorDense(); err != nil {
+		return nil, err
+	}
+	// U and V are walked column-by-column; ColInto into two reused
+	// buffers keeps the inner products on contiguous memory instead of
+	// strided At calls.
 	m := len(res)
-	ncols := s.rm.R.Cols()
+	ncols := s.rm.CSR().Cols()
 	correction := make([]float64, ncols)
 	ucol := make([]float64, m)
 	vcol := make([]float64, ncols)
@@ -123,7 +220,7 @@ func (s *Solver) weightedSetup(prior *tm.TrafficMatrix, y []float64) (res, sqrtw
 	}
 	res = linalg.SubVec(y, rp)
 
-	ncols := s.rm.R.Cols()
+	ncols := s.rm.CSR().Cols()
 	var mean float64
 	for _, v := range prior.Vec() {
 		mean += v
@@ -205,7 +302,7 @@ func (s *Solver) ProjectWeightedDense(prior *tm.TrafficMatrix, y []float64) (*tm
 		return nil, err
 	}
 	// Scaled routing matrix R·W^{1/2} (column scaling).
-	rw := s.rm.R.Clone()
+	rw := s.rm.Dense().Clone()
 	for r := 0; r < rw.Rows(); r++ {
 		row := rw.Row(r)
 		for c := range row {

@@ -1,6 +1,9 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Sparse is an immutable sparse matrix in compressed-sparse-row (CSR)
 // form. The routing matrices of this repository are 0/1 incidence-like
@@ -44,6 +47,72 @@ func SparseFromDense(a *Matrix) *Sparse {
 		s.rowPtr[i+1] = len(s.val)
 	}
 	return s
+}
+
+// Coord is one (row, col, value) entry in coordinate (triplet) form, the
+// input of NewSparse.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewSparse builds a CSR matrix directly from coordinate-form entries,
+// without materializing a dense intermediate — the construction path for
+// routing matrices at hundred-node scale, where the dense form alone
+// costs hundreds of megabytes. Zero-valued entries are dropped (keeping
+// the exact-nnz invariant of SparseFromDense); entries are sorted by
+// (row, col), so the stored order — and therefore every accumulation
+// order downstream — is independent of input order. Out-of-range and
+// duplicate (row, col) entries are errors: the callers of this
+// repository never legitimately produce them, and summing duplicates
+// would make float results depend on input order.
+func NewSparse(rows, cols int, entries []Coord) (*Sparse, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: sparse %dx%d", ErrShape, rows, cols)
+	}
+	kept := make([]Coord, 0, len(entries))
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrShape, e.Row, e.Col, rows, cols)
+		}
+		if e.Val != 0 {
+			kept = append(kept, e)
+		}
+	}
+	// (row, col) pairs are unique after the duplicate check below, so this
+	// comparison is a strict total order and the sort is deterministic.
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].Row != kept[b].Row {
+			return kept[a].Row < kept[b].Row
+		}
+		return kept[a].Col < kept[b].Col
+	})
+	s := &Sparse{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int, len(kept)),
+		val:    make([]float64, len(kept)),
+	}
+	for k, e := range kept {
+		if k > 0 && kept[k-1].Row == e.Row && kept[k-1].Col == e.Col {
+			return nil, fmt.Errorf("%w: duplicate entry (%d,%d)", ErrShape, e.Row, e.Col)
+		}
+		s.colIdx[k] = e.Col
+		s.val[k] = e.Val
+	}
+	row := 0
+	for k, e := range kept {
+		for row < e.Row {
+			row++
+			s.rowPtr[row] = k
+		}
+	}
+	for row < rows {
+		row++
+		s.rowPtr[row] = len(kept)
+	}
+	return s, nil
 }
 
 // Rows returns the number of rows.

@@ -48,6 +48,80 @@ func TestSparseFromDenseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNewSparseMatchesFromDense: building from shuffled coordinate
+// entries must produce the same matrix — including identical stored
+// order, asserted via bitwise-equal MulVec — as the dense round-trip.
+func TestNewSparseMatchesFromDense(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		m, n := 1+r.Intn(20), 1+r.Intn(20)
+		a := randomSparseMatrix(r, m, n, 0.2)
+		var entries []Coord
+		for i := 0; i < m; i++ {
+			for j, v := range a.Row(i) {
+				if v != 0 {
+					entries = append(entries, Coord{Row: i, Col: j, Val: v})
+				}
+			}
+		}
+		r.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+		got, err := NewSparse(m, n, entries)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := SparseFromDense(a)
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("trial %d: NNZ %d, want %d", trial, got.NNZ(), want.NNZ())
+		}
+		if !got.Dense().Equal(a, 0) {
+			t.Fatalf("trial %d: NewSparse disagrees with the dense source", trial)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		gv, err := got.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, err := want.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gv {
+			if gv[i] != wv[i] {
+				t.Fatalf("trial %d: MulVec[%d] = %g, want %g bitwise (stored order must match)", trial, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+func TestNewSparseDropsZeros(t *testing.T) {
+	s, err := NewSparse(2, 2, []Coord{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (zero entry must be dropped)", s.NNZ())
+	}
+}
+
+func TestNewSparseRejectsBadEntries(t *testing.T) {
+	if _, err := NewSparse(2, 2, []Coord{{Row: 2, Col: 0, Val: 1}}); !errors.Is(err, ErrShape) {
+		t.Errorf("out-of-range row: err = %v, want ErrShape", err)
+	}
+	if _, err := NewSparse(2, 2, []Coord{{Row: 0, Col: -1, Val: 1}}); !errors.Is(err, ErrShape) {
+		t.Errorf("negative col: err = %v, want ErrShape", err)
+	}
+	dups := []Coord{{Row: 1, Col: 1, Val: 1}, {Row: 1, Col: 1, Val: 2}}
+	if _, err := NewSparse(2, 2, dups); !errors.Is(err, ErrShape) {
+		t.Errorf("duplicate entry: err = %v, want ErrShape", err)
+	}
+	if _, err := NewSparse(-1, 2, nil); !errors.Is(err, ErrShape) {
+		t.Errorf("negative shape: err = %v, want ErrShape", err)
+	}
+}
+
 func TestSparseMulVecMatchesDense(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 50; trial++ {

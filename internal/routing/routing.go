@@ -30,45 +30,63 @@ var ErrInput = errors.New("routing: invalid input")
 
 // Matrix is a routing matrix with its layout metadata.
 //
-// R is treated as immutable once the matrix is in use: LinkLoads, the
-// estimation solver and CSR all read a sparse snapshot of R that is
-// built once and never refreshed. Callers modeling routing changes
-// (link failures, re-weighted ECMP) must build a new Matrix rather
-// than mutate R in place — mutations after the first use would be
-// silently invisible to the cached view.
+// The matrix is stored sparse-first: Build assembles the CSR form
+// directly from the ECMP path fractions — R is incidence-like, a few
+// nonzeros per column out of L+2n rows, so the sparse form is the only
+// one whose cost scales to hundred-node topologies (the dense form of an
+// n=200 network alone is ~300 MB). The CSR view is immutable once built;
+// callers modeling routing changes (link failures, re-weighted ECMP)
+// must build a new Matrix. The dense form exists only behind Dense(),
+// materialized lazily for the dense SVD cross-check paths.
 type Matrix struct {
-	// R is the (L + 2n) x n² routing matrix. Do not modify after
-	// construction; see the type comment.
-	R *linalg.Matrix
 	// N is the number of access points; L the number of directed links.
 	N, L int
 
-	// csr caches the sparse (CSR) view of R. Build populates it at
-	// construction; the once-guard covers matrices assembled by hand in
-	// tests. R is incidence-like — a few nonzeros per column out of
-	// L+2n rows — so every mat-vec on the hot estimation path runs on
-	// the sparse form.
-	csrOnce sync.Once
-	csr     *linalg.Sparse
+	// csr is the (L + 2n) x n² routing matrix in CSR form, built at
+	// construction and never mutated.
+	csr *linalg.Sparse
+
+	// dense lazily materializes the dense form of csr on first Dense()
+	// call. Only the dense reference paths (Solver.ProjectDense,
+	// Solver.ProjectWeightedDense) pay for it.
+	denseOnce sync.Once
+	dense     *linalg.Matrix
 }
 
-// CSR returns the cached sparse view of R. The view is built once (at
-// construction for Build-produced matrices) and is safe for concurrent
-// use; callers must not mutate R afterwards.
-func (m *Matrix) CSR() *linalg.Sparse {
-	m.csrOnce.Do(func() { m.csr = linalg.SparseFromDense(m.R) })
-	return m.csr
+// CSR returns the sparse view of R. It is built once at construction and
+// is safe for concurrent use.
+func (m *Matrix) CSR() *linalg.Sparse { return m.csr }
+
+// Dense materializes (once, lazily) and returns the dense form of R.
+// Only the dense SVD cross-check paths need it; everything on the hot
+// estimation path runs on the CSR view. The returned matrix is shared
+// and must not be mutated. Safe for concurrent use.
+func (m *Matrix) Dense() *linalg.Matrix {
+	m.denseOnce.Do(func() { m.dense = m.csr.Dense() })
+	return m.dense
+}
+
+// FromCSR wraps an explicit CSR routing matrix with its layout metadata
+// (tests and callers assembling measurement operators by hand). The
+// matrix must have l + 2n rows and n² columns.
+func FromCSR(csr *linalg.Sparse, n, l int) (*Matrix, error) {
+	if csr.Rows() != l+2*n || csr.Cols() != n*n {
+		return nil, fmt.Errorf("%w: CSR %dx%d for n=%d l=%d (want %dx%d)",
+			ErrInput, csr.Rows(), csr.Cols(), n, l, l+2*n, n*n)
+	}
+	return &Matrix{N: n, L: l, csr: csr}, nil
 }
 
 // Build constructs the routing matrix for graph g under shortest-path
-// ECMP routing.
+// ECMP routing. The matrix is assembled directly in sparse (CSR) form:
+// O(nnz) memory and time, never touching the O((L+2n)·n²) dense layout.
 func Build(g *topology.Graph) (*Matrix, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("%w: empty graph", ErrInput)
 	}
 	l := g.NumEdges()
-	r := linalg.NewMatrix(l+2*n, n*n)
+	entries := make([]linalg.Coord, 0, n*n*2)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			col := tm.PairIndex(n, i, j)
@@ -78,16 +96,19 @@ func Build(g *topology.Graph) (*Matrix, error) {
 					return nil, fmt.Errorf("routing: pair (%d,%d): %w", i, j, err)
 				}
 				for eid, f := range frac {
-					r.Set(eid, col, f)
+					entries = append(entries, linalg.Coord{Row: eid, Col: col, Val: f})
 				}
 			}
-			r.Set(l+i, col, 1)   // ingress at i
-			r.Set(l+n+j, col, 1) // egress at j
+			entries = append(entries,
+				linalg.Coord{Row: l + i, Col: col, Val: 1},     // ingress at i
+				linalg.Coord{Row: l + n + j, Col: col, Val: 1}) // egress at j
 		}
 	}
-	m := &Matrix{R: r, N: n, L: l}
-	m.CSR() // build the sparse view once, while construction is single-threaded
-	return m, nil
+	csr, err := linalg.NewSparse(l+2*n, n*n, entries)
+	if err != nil {
+		return nil, fmt.Errorf("routing: assemble CSR: %w", err)
+	}
+	return &Matrix{N: n, L: l, csr: csr}, nil
 }
 
 // Rows returns the total number of measurement rows, L + 2n.

@@ -32,8 +32,8 @@ func TestBuildShape(t *testing.T) {
 	if m.N != 3 || m.L != 4 {
 		t.Fatalf("N=%d L=%d, want 3, 4", m.N, m.L)
 	}
-	if m.R.Rows() != m.Rows() || m.R.Cols() != 9 {
-		t.Fatalf("R is %dx%d", m.R.Rows(), m.R.Cols())
+	if m.Dense().Rows() != m.Rows() || m.Dense().Cols() != 9 {
+		t.Fatalf("R is %dx%d", m.Dense().Rows(), m.Dense().Cols())
 	}
 }
 
@@ -129,7 +129,7 @@ func TestColumnHopCounts(t *testing.T) {
 	col := tm.PairIndex(3, 0, 2)
 	var sum float64
 	for r := 0; r < m.L; r++ {
-		sum += m.R.At(r, col)
+		sum += m.Dense().At(r, col)
 	}
 	if math.Abs(sum-2) > 1e-12 {
 		t.Errorf("hop-weighted column sum = %g, want 2", sum)
@@ -138,7 +138,7 @@ func TestColumnHopCounts(t *testing.T) {
 	colSelf := tm.PairIndex(3, 1, 1)
 	sum = 0
 	for r := 0; r < m.L; r++ {
-		sum += m.R.At(r, colSelf)
+		sum += m.Dense().At(r, colSelf)
 	}
 	if sum != 0 {
 		t.Errorf("self-pair link usage = %g, want 0", sum)
@@ -160,7 +160,7 @@ func TestECMPFractionalEntries(t *testing.T) {
 	col := tm.PairIndex(4, 0, 3)
 	half := 0
 	for r := 0; r < m.L; r++ {
-		v := m.R.At(r, col)
+		v := m.Dense().At(r, col)
 		if v != 0 && math.Abs(v-0.5) > 1e-12 {
 			t.Errorf("unexpected fraction %g", v)
 		}
@@ -230,10 +230,10 @@ func TestMarginalRowColumnSums(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for col := 0; col < m.R.Cols(); col++ {
+	for col := 0; col < m.Dense().Cols(); col++ {
 		var s float64
 		for r := m.L; r < m.Rows(); r++ {
-			s += m.R.At(r, col)
+			s += m.Dense().At(r, col)
 		}
 		if math.Abs(s-2) > 1e-12 {
 			t.Fatalf("column %d marginal mass = %g, want 2", col, s)
@@ -253,9 +253,9 @@ func TestColumnFractionBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for col := 0; col < m.R.Cols(); col++ {
+	for col := 0; col < m.Dense().Cols(); col++ {
 		for r := 0; r < m.L; r++ {
-			if v := m.R.At(r, col); v < 0 || v > 1+1e-9 {
+			if v := m.Dense().At(r, col); v < 0 || v > 1+1e-9 {
 				t.Fatalf("R[%d][%d] = %g outside [0,1]", r, col, v)
 			}
 		}

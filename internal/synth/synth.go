@@ -188,6 +188,42 @@ func TotemLike() Scenario {
 	}
 }
 
+// ISPLike is a parameterized large-topology scenario family: an
+// ISP-style network of n PoPs with the same marginal and diurnal shape
+// targets as GeantLike (lognormal preferences with the paper's measured
+// tail, volume coupling, two-harmonic diurnal waveform, weekend dip,
+// netflow-style sampling noise) but generalized to arbitrary n. It
+// pairs with topology.BackboneStub(n, 0, sc.Seed) — a backbone-plus-stub
+// graph generalizing the ~22-node evaluation networks — and exists
+// because the sparse-first estimation path makes n in the hundreds
+// routine; the scenario ships with Weeks=2 so estimation runs
+// (calibration week + target week) work out of the box.
+func ISPLike(n int) Scenario {
+	return Scenario{
+		Name:               fmt.Sprintf("isp-%d", n),
+		N:                  n,
+		BinSeconds:         300,
+		BinsPerWeek:        2016,
+		Weeks:              2,
+		Seed:               20061114 + uint64(n), // per-n stream, anchored at the D1 collection date
+		F:                  0.25,
+		FPairJitter:        0.055,
+		FTimeJitter:        0.03,
+		PrefMu:             -4.3,
+		PrefSigma:          1.7,
+		PrefVolumeCoupling: 0.5,
+		GravityBlend:       0.35,
+		ActivityMu:         16.5,
+		ActivitySigma:      1.3,
+		ActivityNoise:      0.18,
+		DiurnalAmp:         0.45,
+		WeekendFactor:      0.6,
+		NoiseSigma:         0.1,
+		SamplingRate:       0.001,
+		AvgPacketBytes:     800,
+	}
+}
+
 // Dataset is a generated ground-truth ensemble together with the latent
 // parameters that produced it (available to tests and to the "measured
 // parameters" estimation scenario).

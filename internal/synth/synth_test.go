@@ -308,3 +308,50 @@ func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestISPLikeFamily: the parameterized large-topology family must stay
+// valid at every advertised scale, share GeantLike's marginal/diurnal
+// shape targets, and give each n its own deterministic seed.
+func TestISPLikeFamily(t *testing.T) {
+	g := GeantLike()
+	for _, n := range []int{50, 100, 200} {
+		sc := ISPLike(n)
+		if err := sc.Validate(); err != nil {
+			t.Errorf("ISPLike(%d): %v", n, err)
+		}
+		if sc.N != n {
+			t.Errorf("ISPLike(%d).N = %d", n, sc.N)
+		}
+		if sc.Weeks < 2 {
+			t.Errorf("ISPLike(%d).Weeks = %d, want >= 2 (calibration + target)", n, sc.Weeks)
+		}
+		// Same shape targets as the Geant-like preset.
+		if sc.PrefMu != g.PrefMu || sc.PrefSigma != g.PrefSigma ||
+			sc.DiurnalAmp != g.DiurnalAmp || sc.WeekendFactor != g.WeekendFactor ||
+			sc.F != g.F {
+			t.Errorf("ISPLike(%d) drifted from GeantLike shape targets", n)
+		}
+	}
+	if ISPLike(50).Seed == ISPLike(100).Seed {
+		t.Error("different n must select different seeds")
+	}
+}
+
+// TestISPLikeGenerates realizes a reduced-bin ISPLike(50) week and spot
+// checks the ensemble shape (n=50 is cheap; estimation-scale coverage of
+// n in the hundreds lives in the benchmarks).
+func TestISPLikeGenerates(t *testing.T) {
+	sc := ISPLike(50)
+	sc.BinsPerWeek = 28
+	sc.Weeks = 1
+	d, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Series.N() != 50 || d.Series.Len() != 28 {
+		t.Fatalf("series shape %dx%d", d.Series.N(), d.Series.Len())
+	}
+	if d.Series.At(0).Total() <= 0 {
+		t.Error("generated bin carries no traffic")
+	}
+}

@@ -143,6 +143,90 @@ func Waxman(n int, alpha, beta float64, seed uint64) (*Graph, error) {
 	return g, nil
 }
 
+// BackboneStub builds an ISP-like two-tier PoP topology at arbitrary
+// scale: a well-meshed backbone core — ring plus chords, guaranteeing
+// two disjoint paths between any pair of core nodes — with the remaining
+// n − core nodes attached as stub PoPs, each homed to one core node and
+// dual-homed to a second with moderate probability (the resilience
+// pattern of real access PoPs). This is the topology family behind the
+// synth.ISPLike(n) scenarios: it generalizes the ~22-node Geant/Totem
+// evaluation networks to hundreds of nodes while keeping their
+// structural character (small dense core, sparse periphery, rare
+// equal-cost ties that exercise ECMP without dominating it).
+//
+// core <= 0 selects the default backbone size max(3, n/8). All links are
+// bidirectional with mildly randomized weights; stub homing links are
+// heavier than core links, as access circuits are in IGP practice.
+func BackboneStub(n, core int, seed uint64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: backbone-stub needs >= 3 nodes, got %d", ErrGraph, n)
+	}
+	if core <= 0 {
+		core = n / 8
+		if core < 3 {
+			core = 3
+		}
+	}
+	if core < 3 || core > n {
+		return nil, fmt.Errorf("%w: backbone of %d nodes for n=%d", ErrGraph, core, n)
+	}
+	g := NewGraph(n)
+	r := rng.New(seed).Derive("topology/backbonestub")
+	// Backbone ring over nodes [0, core).
+	for i := 0; i < core; i++ {
+		w := 1 + 0.2*r.Float64()
+		if _, _, err := g.AddBiEdge(i, (i+1)%core, w); err != nil {
+			return nil, err
+		}
+	}
+	// Backbone chords (skipping ring-adjacent and duplicate pairs). A
+	// core-cycle has core·(core−3)/2 non-adjacent pairs, which bounds how
+	// many chords can exist at all (zero for core=3).
+	chords := core / 2
+	if max := core * (core - 3) / 2; chords > max {
+		chords = max
+	}
+	type pair struct{ a, b int }
+	used := make(map[pair]bool)
+	for added := 0; added < chords; {
+		a := r.Intn(core)
+		b := r.Intn(core)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if b-a == 1 || (a == 0 && b == core-1) || used[pair{a, b}] {
+			continue
+		}
+		used[pair{a, b}] = true
+		w := 1.5 + r.Float64()
+		if _, _, err := g.AddBiEdge(a, b, w); err != nil {
+			return nil, err
+		}
+		added++
+	}
+	// Stub PoPs: primary homing link always, secondary with probability
+	// 0.4 to a different core node.
+	for s := core; s < n; s++ {
+		h1 := r.Intn(core)
+		if _, _, err := g.AddBiEdge(s, h1, 2+r.Float64()); err != nil {
+			return nil, err
+		}
+		if core > 1 && r.Float64() < 0.4 {
+			h2 := r.Intn(core - 1)
+			if h2 >= h1 {
+				h2++
+			}
+			if _, _, err := g.AddBiEdge(s, h2, 2+r.Float64()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
 // DegreeSequence returns the sorted (descending) undirected degree
 // sequence, counting each bidirectional pair once. Useful in tests and
 // topology summaries.

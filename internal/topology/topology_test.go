@@ -305,3 +305,79 @@ func TestConnectedEmptyAndSingle(t *testing.T) {
 		t.Error("two isolated nodes are not connected")
 	}
 }
+
+// --- BackboneStub (the ISP-like two-tier generator) ---
+
+func TestBackboneStubConnectedAndShaped(t *testing.T) {
+	for _, tc := range []struct{ n, core int }{
+		{3, 3}, {10, 0}, {22, 5}, {50, 0}, {100, 0}, {200, 0},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			g, err := BackboneStub(tc.n, tc.core, seed)
+			if err != nil {
+				t.Fatalf("n=%d core=%d seed=%d: %v", tc.n, tc.core, seed, err)
+			}
+			if g.N() != tc.n {
+				t.Fatalf("n=%d: graph has %d nodes", tc.n, g.N())
+			}
+			if !g.Connected() {
+				t.Fatalf("n=%d core=%d seed=%d: not connected", tc.n, tc.core, seed)
+			}
+			if !g.Reverse().Connected() {
+				t.Fatalf("n=%d core=%d seed=%d: reverse not connected", tc.n, tc.core, seed)
+			}
+		}
+	}
+}
+
+// Stub PoPs must stay peripheral: degree 1 or 2 (single- or dual-homed),
+// with every homing link landing in the core.
+func TestBackboneStubStubDegrees(t *testing.T) {
+	const n, core = 40, 5
+	g, err := BackboneStub(n, core, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core; s < n; s++ {
+		out := g.OutEdges(s)
+		if len(out) < 1 || len(out) > 2 {
+			t.Errorf("stub %d has degree %d, want 1 or 2", s, len(out))
+		}
+		for _, eid := range out {
+			if to := g.Edges()[eid].To; to >= core {
+				t.Errorf("stub %d homed to non-core node %d", s, to)
+			}
+		}
+	}
+}
+
+func TestBackboneStubDeterministic(t *testing.T) {
+	a, err := BackboneStub(30, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BackboneStub(30, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e, b.Edges()[i])
+		}
+	}
+}
+
+func TestBackboneStubErrors(t *testing.T) {
+	if _, err := BackboneStub(2, 0, 1); !errors.Is(err, ErrGraph) {
+		t.Error("n < 3 must fail")
+	}
+	if _, err := BackboneStub(10, 11, 1); !errors.Is(err, ErrGraph) {
+		t.Error("core > n must fail")
+	}
+	if _, err := BackboneStub(10, 2, 1); !errors.Is(err, ErrGraph) {
+		t.Error("core < 3 must fail")
+	}
+}
