@@ -1,0 +1,201 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses
+// `go test -bench` output, takes the per-benchmark median ns/op across
+// repeated runs (-count), and compares each median against the
+// checked-in baseline JSON files (BENCH_pr*.json), failing when a
+// benchmark regresses by more than -max-ratio. Benchmarks missing from
+// every baseline are reported and skipped; pinned benchmarks (-require)
+// must be present in the measured output, so a renamed or deleted
+// benchmark cannot silently drop out of the gate.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'NewSolver|ProjectWeighted' -benchtime 100ms -count 5 . | tee bench.txt
+//	benchcheck -bench bench.txt -baseline BENCH_pr2.json -baseline BENCH_pr3.json \
+//	    -max-ratio 2 -require BenchmarkNewSolverSparse,BenchmarkProjectWeightedLSQR
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// baselineFile mirrors the BENCH_pr*.json layout (extra fields ignored).
+type baselineFile struct {
+	Results map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkNewSolverSparse-8   	 5	 239 ns/op	 64 B/op	 1 allocs/op
+//
+// capturing the name (GOMAXPROCS suffix split off separately) and ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parseBench collects every measured ns/op per benchmark name.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// median returns the median of a non-empty sample.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var baselines multiFlag
+	var (
+		benchPath = fs.String("bench", "-", `go test -bench output ("-" = stdin)`)
+		maxRatio  = fs.Float64("max-ratio", 2, "fail when median ns/op exceeds baseline by more than this factor")
+		require   = fs.String("require", "", "comma-separated benchmark names that must appear in the measured output")
+	)
+	fs.Var(&baselines, "baseline", "baseline JSON file (repeatable; BENCH_pr*.json layout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("need at least one -baseline file")
+	}
+	if *maxRatio <= 0 {
+		return fmt.Errorf("-max-ratio %g must be positive", *maxRatio)
+	}
+
+	base := make(map[string]float64)
+	for _, path := range baselines {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", path, err)
+		}
+		for name, r := range bf.Results {
+			if r.NsPerOp <= 0 {
+				return fmt.Errorf("baseline %s: %s has ns_per_op %g", path, name, r.NsPerOp)
+			}
+			// Later baselines win: newer PRs re-pin earlier benchmarks.
+			base[name] = r.NsPerOp
+		}
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return fmt.Errorf("open bench output: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return fmt.Errorf("parse bench output: %w", err)
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	if *require != "" {
+		// A pinned benchmark must be present on both sides of the
+		// comparison: absent from the measured output means it was renamed
+		// or deleted, absent from every baseline means its gate entry was
+		// dropped — either way the regression check would silently stop
+		// gating it.
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := measured[name]; !ok {
+				missing = append(missing, name+" (not measured; renamed or deleted?)")
+			}
+			if _, ok := base[name]; !ok {
+				missing = append(missing, name+" (no baseline entry; dropped from BENCH_pr*.json?)")
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("required benchmarks missing: %s", strings.Join(missing, ", "))
+		}
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s\n", "benchmark", "median ns/op", "baseline", "ratio")
+	for _, name := range names {
+		med := median(measured[name])
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s %14.0f %14s %8s\n", name, med, "-", "-")
+			continue
+		}
+		ratio := med / b
+		fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %8.2f\n", name, med, b, ratio)
+		if ratio > *maxRatio {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: median %.0f ns/op vs baseline %.0f (%.2fx > %.2gx)", name, med, b, ratio, *maxRatio))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(stdout, "benchcheck: %d benchmarks within %.2gx of baseline\n", len(names), *maxRatio)
+	return nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ictm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNewSolverSparse-8     	       5	       240 ns/op	      64 B/op	       1 allocs/op
+BenchmarkNewSolverSparse-8     	       5	       250 ns/op	      64 B/op	       1 allocs/op
+BenchmarkNewSolverSparse-8     	       5	       230 ns/op	      64 B/op	       1 allocs/op
+BenchmarkEstimationISPLike100-8	       1	 216614733 ns/op
+BenchmarkEstimationISPLike100-8	       1	 220000000 ns/op
+BenchmarkUnpinnedExtra-8       	 1000000	      1.5 ns/op
+PASS
+ok  	ictm	1.234s
+`
+
+const sampleBaseline = `{
+  "pr": 3,
+  "results": {
+    "BenchmarkNewSolverSparse":      {"ns_per_op": 239, "bytes_per_op": 64},
+    "BenchmarkEstimationISPLike100": {"ns_per_op": 216614733}
+  }
+}`
+
+// write drops content into a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchMediansAndSuffixes(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkNewSolverSparse"]) != 3 {
+		t.Fatalf("sparse samples: %v", got["BenchmarkNewSolverSparse"])
+	}
+	if med := median(got["BenchmarkNewSolverSparse"]); med != 240 {
+		t.Errorf("median = %g, want 240", med)
+	}
+	if med := median(got["BenchmarkEstimationISPLike100"]); med != (216614733+220000000)/2.0 {
+		t.Errorf("even-count median = %g", med)
+	}
+	if _, ok := got["BenchmarkUnpinnedExtra"]; !ok {
+		t.Error("fractional ns/op line not parsed")
+	}
+}
+
+// TestRunPassesWithinRatio: medians near baseline pass, unpinned
+// benchmarks are listed but not gated.
+func TestRunPassesWithinRatio(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	baseline := write(t, "base.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-bench", bench, "-baseline", baseline, "-max-ratio", "2"}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("within-ratio run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkNewSolverSparse", "BenchmarkEstimationISPLike100", "BenchmarkUnpinnedExtra", "within 2x of baseline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunFailsOnRegression: a median beyond max-ratio fails and names
+// the offender with its ratio.
+func TestRunFailsOnRegression(t *testing.T) {
+	slow := strings.ReplaceAll(sampleBench, "240 ns/op", "999 ns/op")
+	slow = strings.ReplaceAll(slow, "250 ns/op", "1000 ns/op")
+	slow = strings.ReplaceAll(slow, "230 ns/op", "1001 ns/op")
+	bench := write(t, "bench.txt", slow)
+	baseline := write(t, "base.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-bench", bench, "-baseline", baseline, "-max-ratio", "2"}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("4x regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkNewSolverSparse") || !strings.Contains(err.Error(), "4.18x") {
+		t.Errorf("regression error lacks offender/ratio: %v", err)
+	}
+	// The other benchmark stayed within ratio and must not be blamed.
+	if strings.Contains(err.Error(), "ISPLike100") {
+		t.Errorf("non-regressed benchmark blamed: %v", err)
+	}
+}
+
+// TestRunRequireMissing: a pinned benchmark absent from the measured
+// output — or from every baseline — is an error even when everything
+// measured passes, so the gate cannot be silently defeated from either
+// side.
+func TestRunRequireMissing(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	baseline := write(t, "base.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-bench", bench, "-baseline", baseline,
+		"-require", "BenchmarkNewSolverSparse,BenchmarkGone"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone (not measured") {
+		t.Errorf("missing measured benchmark not reported: %v", err)
+	}
+	// Present in the output but dropped from the baseline: the unpinned
+	// extra passes the ratio table, so only -require catches it.
+	err = run([]string{"-bench", bench, "-baseline", baseline,
+		"-require", "BenchmarkUnpinnedExtra"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkUnpinnedExtra (no baseline entry") {
+		t.Errorf("missing baseline entry not reported: %v", err)
+	}
+	// Pinned and present on both sides still passes.
+	if err := run([]string{"-bench", bench, "-baseline", baseline,
+		"-require", "BenchmarkNewSolverSparse"}, &out, &errBuf); err != nil {
+		t.Errorf("fully-present require failed: %v", err)
+	}
+}
+
+// TestRunLaterBaselineWins: a benchmark re-pinned by a newer PR is
+// gated against the newer number.
+func TestRunLaterBaselineWins(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	old := write(t, "old.json", `{"results":{"BenchmarkNewSolverSparse":{"ns_per_op":1}}}`)
+	newer := write(t, "new.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bench", bench, "-baseline", old, "-baseline", newer}, &out, &errBuf); err != nil {
+		t.Fatalf("later baseline did not win: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	baseline := write(t, "base.json", sampleBaseline)
+	empty := write(t, "empty.txt", "PASS\n")
+	badJSON := write(t, "bad.json", "{")
+	zero := write(t, "zero.json", `{"results":{"BenchmarkX":{"ns_per_op":0}}}`)
+	var out, errBuf bytes.Buffer
+	for name, args := range map[string][]string{
+		"no baseline":     {"-bench", bench},
+		"no results":      {"-bench", empty, "-baseline", baseline},
+		"bad json":        {"-bench", bench, "-baseline", badJSON},
+		"zero baseline":   {"-bench", bench, "-baseline", zero},
+		"bad ratio":       {"-bench", bench, "-baseline", baseline, "-max-ratio", "0"},
+		"missing file":    {"-bench", "nope.txt", "-baseline", baseline},
+		"missing basefil": {"-bench", bench, "-baseline", "nope.json"},
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

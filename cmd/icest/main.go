@@ -18,12 +18,12 @@ import (
 	"io"
 	"os"
 
+	"ictm/internal/cliflag"
 	"ictm/internal/estimation"
 	"ictm/internal/fit"
 	"ictm/internal/routing"
 	"ictm/internal/stats"
 	"ictm/internal/synth"
-	"ictm/internal/topology"
 )
 
 func main() {
@@ -59,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *dense && (*weighted || *wDense) {
 		return fmt.Errorf("-dense applies to the unweighted step and is incompatible with -weighted/-weighted-dense")
+	}
+	if *scenario != "isp" {
+		cliflag.WarnIgnored(fs, stderr, "icest", fmt.Sprintf("with -scenario %s", *scenario), "n")
 	}
 	var sc synth.Scenario
 	switch *scenario {
@@ -111,14 +114,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("target fit: %w", err)
 	}
 
-	// The ISP family pairs with its backbone-plus-stub topology; the
-	// paper-scale presets keep their Waxman graphs.
-	var g *topology.Graph
-	if *scenario == "isp" {
-		g, err = topology.BackboneStub(sc.N, 0, sc.Seed)
-	} else {
-		g, err = topology.Waxman(sc.N, 0.6, 0.4, sc.Seed)
-	}
+	// The scenario names its own evaluation topology (backbone-plus-stub
+	// for the ISP family, Waxman for the paper-scale presets); building
+	// through the shared descriptor keeps this run byte-identical to what
+	// the estimation service would compute for the same scenario.
+	g, err := sc.Topology().Build()
 	if err != nil {
 		return fmt.Errorf("topology: %w", err)
 	}

@@ -161,3 +161,31 @@ func TestRunWorkersIdenticalReports(t *testing.T) {
 		t.Errorf("reports differ between -workers 1 and 8:\n--- seq\n%s\n--- par\n%s", seq.String(), par.String())
 	}
 }
+
+// TestRunWarnsIgnoredFlags is the icest row of the cross-tool
+// flag-consistency contract: -n sizes only the isp family and must warn
+// under the fixed-size presets.
+func TestRunWarnsIgnoredFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantWarn string
+	}{
+		{"n with geant", []string{"-scenario", "geant", "-n", "50", "-scale", "0.01", "-weeks", "2"},
+			"icest: warning: -n is ignored with -scenario geant"},
+		{"n with isp", []string{"-scenario", "isp", "-n", "12", "-scale", "0.01", "-weeks", "2"}, ""},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(tc.args, &out, &errBuf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.wantWarn == "" {
+			if strings.Contains(errBuf.String(), "warning") {
+				t.Errorf("%s: unexpected warning:\n%s", tc.name, errBuf.String())
+			}
+		} else if !strings.Contains(errBuf.String(), tc.wantWarn) {
+			t.Errorf("%s: stderr missing %q:\n%s", tc.name, tc.wantWarn, errBuf.String())
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"ictm/internal/cliflag"
 	"ictm/internal/experiments"
 	"ictm/internal/report"
 )
@@ -48,6 +49,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return nil // -h/-help: usage already printed, exit 0
 		}
 		return err
+	}
+
+	// The report modes are exclusive: -check validates shape targets and
+	// -markdown renders every figure, so a figure selection or CSV toggle
+	// does nothing under them — say so instead of silently ignoring it.
+	if *check {
+		cliflag.WarnIgnored(fs, stderr, "icexperiments", "with -check", "fig", "csv", "markdown")
+	} else if *markdown {
+		cliflag.WarnIgnored(fs, stderr, "icexperiments", "with -markdown", "fig", "csv")
 	}
 
 	world := experiments.NewWorld(experiments.Config{Scale: *scale, Workers: *workers})

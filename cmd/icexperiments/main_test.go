@@ -60,3 +60,36 @@ func TestRunAllFiguresWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWarnsIgnoredFlags is the icexperiments rows of the cross-tool
+// flag-consistency contract: the exclusive report modes warn about the
+// figure selection and CSV toggle they ignore.
+func TestRunWarnsIgnoredFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantWarns []string
+	}{
+		{"check ignores fig and csv",
+			[]string{"-check", "-fig", "fig3", "-csv", "-scale", "0.02"},
+			[]string{"-fig is ignored with -check", "-csv is ignored with -check"}},
+		{"markdown ignores fig",
+			[]string{"-markdown", "-fig", "fig3", "-scale", "0.02"},
+			[]string{"-fig is ignored with -markdown"}},
+	}
+	for _, tc := range cases {
+		if testing.Short() && tc.name != "check ignores fig and csv" {
+			continue // -markdown regenerates every figure
+		}
+		var out, errBuf bytes.Buffer
+		err := run(tc.args, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range tc.wantWarns {
+			if !strings.Contains(errBuf.String(), "icexperiments: warning: "+w) {
+				t.Errorf("%s: stderr missing warning %q:\n%s", tc.name, w, errBuf.String())
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"ictm/internal/cliflag"
 	"ictm/internal/synth"
 	"ictm/internal/tm"
 	"ictm/internal/tmgen"
@@ -60,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *scenario != "" {
 			return fmt.Errorf("-pure is incompatible with -scenario presets")
 		}
+		// The pure recipe path generates sequentially (tmgen has no
+		// worker fan-out).
+		cliflag.WarnIgnored(fs, stderr, "icgen", "with -pure", "workers")
 		recipe := tmgen.Recipe{
 			N:          *n,
 			T:          *bins * maxInt(*weeks, 1),
@@ -80,11 +84,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var sc synth.Scenario
 	switch *scenario {
-	case "geant":
-		sc = synth.GeantLike()
-	case "totem":
-		sc = synth.TotemLike()
+	case "geant", "totem":
+		// The fixed-size presets take their node count, forward ratio and
+		// seed from the paper's datasets; only -bins (rate reduction) and
+		// -weeks (truncation/extension) apply. Conflicting flags warn
+		// instead of being silently ignored.
+		cliflag.WarnIgnored(fs, stderr, "icgen", fmt.Sprintf("with -scenario %s", *scenario), "n", "f", "seed")
+		if *scenario == "geant" {
+			sc = synth.GeantLike()
+		} else {
+			sc = synth.TotemLike()
+		}
 	case "isp":
+		cliflag.WarnIgnored(fs, stderr, "icgen", "with -scenario isp", "f", "seed")
 		sc = synth.ISPLike(*n)
 	case "":
 		sc = synth.GeantLike()
@@ -98,15 +110,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *weeks > 0 {
 		sc.Weeks = *weeks
+	} else if cliflag.IsSet(fs, "weeks") {
+		cliflag.WarnIgnored(fs, stderr, "icgen", fmt.Sprintf("when non-positive (%d); keeping %d weeks", *weeks, sc.Weeks), "weeks")
 	}
 	// An explicit -bins overrides the preset's bins/week (a 2016-bin
 	// ISPLike(200) week is 80M OD entries; reduced-bin realizations are
 	// how the large family stays usable from the CLI).
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "bins" {
-			sc.BinsPerWeek = *bins
-		}
-	})
+	if cliflag.IsSet(fs, "bins") {
+		sc.BinsPerWeek = *bins
+	}
 	sc.Workers = *workers
 
 	d, err := synth.Generate(sc)

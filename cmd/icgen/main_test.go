@@ -89,3 +89,55 @@ func TestRunISPScenario(t *testing.T) {
 		t.Errorf("progress log should name isp-30:\n%s", errBuf.String())
 	}
 }
+
+// TestRunWarnsIgnoredFlags is the icgen rows of the cross-tool
+// flag-consistency contract: flags a preset or mode ignores must warn on
+// stderr (while -bins deliberately keeps overriding presets, and the
+// custom scenario honours everything).
+func TestRunWarnsIgnoredFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantWarns []string
+		wantQuiet []string
+	}{
+		{"preset ignores n/f/seed",
+			[]string{"-scenario", "geant", "-n", "5", "-f", "0.3", "-seed", "9", "-bins", "14", "-weeks", "1"},
+			[]string{"-n is ignored with -scenario geant", "-f is ignored with -scenario geant", "-seed is ignored with -scenario geant"},
+			[]string{"-bins"}},
+		{"isp honours n, ignores f/seed",
+			[]string{"-scenario", "isp", "-n", "8", "-f", "0.3", "-seed", "9", "-bins", "14", "-weeks", "1"},
+			[]string{"-f is ignored with -scenario isp", "-seed is ignored with -scenario isp"},
+			[]string{"-n is ignored"}},
+		{"custom honours everything",
+			[]string{"-n", "5", "-f", "0.3", "-seed", "9", "-bins", "14", "-weeks", "1"},
+			nil,
+			[]string{"warning"}},
+		{"weeks zero is ignored",
+			[]string{"-scenario", "geant", "-bins", "14", "-weeks", "0"},
+			[]string{"-weeks is ignored when non-positive"},
+			nil},
+		{"pure ignores workers",
+			[]string{"-pure", "-n", "5", "-bins", "14", "-workers", "4"},
+			[]string{"-workers is ignored with -pure"},
+			nil},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(tc.args, &out, &errBuf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range tc.wantWarns {
+			if !strings.Contains(errBuf.String(), "icgen: warning: "+w) {
+				t.Errorf("%s: stderr missing warning %q:\n%s", tc.name, w, errBuf.String())
+			}
+		}
+		for _, q := range tc.wantQuiet {
+			for _, line := range strings.Split(errBuf.String(), "\n") {
+				if strings.Contains(line, "warning") && strings.Contains(line, q) {
+					t.Errorf("%s: unexpected warning %q", tc.name, line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command icserve is the online estimation service: a long-lived HTTP
+// server that ingests link-load observations and emits traffic-matrix
+// estimates computed by the shared tomogravity pipeline. Topologies are
+// registered implicitly — every request names a scenario preset or a
+// serializable topology descriptor, and the engine lazily builds (and
+// then shares) one solver per distinct topology.
+//
+// API (see internal/serve for the wire types):
+//
+//	POST /v1/estimate   application/json:     {"scenario":"geant","prior":{"name":"gravity"},"bins":[{"t":0,"y":[...]}]}
+//	                    application/x-ndjson: header line, then one bin per line; estimates stream back per line
+//	GET  /v1/stats      service-lifetime telemetry
+//	GET  /healthz       liveness
+//
+// Estimates are bit-identical for any -workers value and equal to
+// estimation.EstimateBin run in-process: the service adds availability,
+// never arithmetic.
+//
+// Usage:
+//
+//	icserve -addr 127.0.0.1:8080 -workers 0 -scenario geant
+//	icserve -scenario isp -n 100
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ictm/internal/cliflag"
+	"ictm/internal/serve"
+)
+
+// shutdownTimeout bounds how long graceful shutdown waits for in-flight
+// requests (a long NDJSON stream keeps its connection until the client
+// closes the input).
+const shutdownTimeout = 10 * time.Second
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "icserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against explicit arguments and streams, so tests
+// can drive it without spawning a process. A receive on stop (the signal
+// channel in production) triggers graceful shutdown; run returns once
+// in-flight requests have drained or the shutdown timeout expires.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("icserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		scenario = fs.String("scenario", "geant", `default topology for requests naming none: "geant", "totem" or "isp" (parameterized by -n)`)
+		nodes    = fs.Int("n", 100, `PoP count for the "isp" default scenario (ignored by geant/totem)`)
+		workers  = fs.Int("workers", 0, "concurrent estimation workers per stream (0 = all CPUs, 1 = sequential); estimates are identical for any value")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+	if *scenario != "isp" {
+		cliflag.WarnIgnored(fs, stderr, "icserve", fmt.Sprintf("with -scenario %s", *scenario), "n")
+	}
+
+	defaultTopology, err := serve.ScenarioSpec(*scenario, *nodes)
+	if err != nil {
+		return err
+	}
+	engine := serve.NewEngine(*workers)
+	srv := &http.Server{Handler: serve.NewHandler(engine, defaultTopology)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	fmt.Fprintf(stderr, "icserve: listening on %s (default scenario %s, workers=%d)\n",
+		ln.Addr(), *scenario, *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; without a Shutdown call any return is
+		// a hard failure.
+		return fmt.Errorf("serve: %w", err)
+	case <-stop:
+		fmt.Fprintln(stderr, "icserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Fprintln(stderr, "icserve: drained")
+		return nil
+	}
+}

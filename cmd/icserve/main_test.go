@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ictm/internal/estimation"
+	"ictm/internal/routing"
+	"ictm/internal/serve"
+	"ictm/internal/synth"
+)
+
+// update rewrites the golden files (and the checked-in smoke request the
+// CI service-smoke step replays) instead of comparing against them:
+//
+//	go test ./cmd/icserve -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes progress to
+// it from the server goroutine while the test polls it for the bound
+// address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer runs the tool on a free port and returns its base URL and
+// a stopper that triggers graceful shutdown and reports run's error.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	var stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, &stderr, stop)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(stderr.String()); m != nil {
+			url := "http://" + m[1]
+			return url, func() error {
+				stop <- os.Interrupt
+				select {
+				case err := <-done:
+					if !strings.Contains(stderr.String(), "drained") {
+						t.Errorf("shutdown did not report drained:\n%s", stderr.String())
+					}
+					return err
+				case <-time.After(15 * time.Second):
+					t.Fatal("server did not shut down")
+					return nil
+				}
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line within deadline:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	stop := make(chan os.Signal)
+	if err := run([]string{"-bogus"}, &out, &errBuf, stop); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out, &errBuf, stop); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bogus"}, &out, &errBuf, stop); err == nil {
+		t.Error("unlistenable address must fail")
+	}
+	if err := run([]string{"-h"}, &out, &errBuf, stop); err != nil {
+		t.Errorf("-h must exit clean: %v", err)
+	}
+}
+
+// TestRunWarnsIgnoredFlags is the icserve row of the cross-tool
+// flag-consistency contract: -n does nothing outside the isp scenario
+// and must say so instead of silently serving a different default.
+func TestRunWarnsIgnoredFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantWarn string
+	}{
+		{"n with geant", []string{"-scenario", "geant", "-n", "50"},
+			"icserve: warning: -n is ignored with -scenario geant"},
+		{"n with totem", []string{"-scenario", "totem", "-n", "50"},
+			"icserve: warning: -n is ignored with -scenario totem"},
+		{"n with isp", []string{"-scenario", "isp", "-n", "50"}, ""},
+		{"no n", []string{"-scenario", "geant"}, ""},
+	}
+	for _, tc := range cases {
+		// The warning is emitted before the listener opens, so a run
+		// that fails fast on an unlistenable address still exercises it
+		// without goroutine bookkeeping.
+		var out, errBuf bytes.Buffer
+		stop := make(chan os.Signal)
+		args := append(tc.args, "-addr", "127.0.0.1:bogusport")
+		if err := run(args, &out, &errBuf, stop); err == nil {
+			t.Fatalf("%s: bad port must fail", tc.name)
+		}
+		if tc.wantWarn == "" {
+			if strings.Contains(errBuf.String(), "warning") {
+				t.Errorf("%s: unexpected warning:\n%s", tc.name, errBuf.String())
+			}
+		} else if !strings.Contains(errBuf.String(), tc.wantWarn) {
+			t.Errorf("%s: stderr missing %q:\n%s", tc.name, tc.wantWarn, errBuf.String())
+		}
+	}
+}
+
+// geantBin builds one GeantLike observation: the link loads of the first
+// bin of a reduced-rate GeantLike week on the scenario's own topology.
+func geantBin(t testing.TB) (sc synth.Scenario, bin serve.Bin) {
+	t.Helper()
+	sc = synth.GeantLike()
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := rm.LinkLoads(d.Series.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, serve.Bin{T: 0, Y: y}
+}
+
+// TestServeEndToEndBitwise is the acceptance criterion: estimates
+// returned over real HTTP for a GeantLike bin are bitwise-identical to
+// estimation.EstimateBin run in-process, for workers 1 and 8, through
+// both the JSON and NDJSON protocols, and the server drains cleanly.
+func TestServeEndToEndBitwise(t *testing.T) {
+	sc, bin := geantBin(t)
+
+	// In-process reference.
+	g, err := sc.Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := estimation.NewSolver(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantDiag, err := estimation.EstimateBin(solver, estimation.GravityPrior{}, 0, bin.Y, estimation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		url, stopSrv := startServer(t, "-workers", fmt.Sprint(workers))
+
+		// JSON single-shot.
+		reqBody, _ := json.Marshal(serve.Request{Scenario: "geant", Bins: []serve.Bin{bin}})
+		resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch serve.Response
+		if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(batch.Results) != 1 || batch.Results[0].Error != "" {
+			t.Fatalf("workers=%d: results %+v", workers, batch.Results)
+		}
+		checkBitwise(t, workers, "json", batch.Results[0], want.Vec(), wantDiag)
+
+		// NDJSON stream of the same bin three times (t=0,1,2): gravity is
+		// time-invariant, so every line must carry the identical estimate.
+		var stream bytes.Buffer
+		enc := json.NewEncoder(&stream)
+		enc.Encode(serve.Request{Scenario: "geant"}) //nolint:errcheck
+		for i := 0; i < 3; i++ {
+			enc.Encode(serve.Bin{T: i, Y: bin.Y}) //nolint:errcheck
+		}
+		resp, err = http.Post(url+"/v1/estimate", serve.NDJSONContentType, &stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for i := 0; i < 3; i++ {
+			var est serve.Estimate
+			if err := dec.Decode(&est); err != nil {
+				t.Fatalf("workers=%d line %d: %v", workers, i, err)
+			}
+			if est.T != i || est.Error != "" {
+				t.Fatalf("workers=%d line %d: t=%d err=%q", workers, i, est.T, est.Error)
+			}
+			checkBitwise(t, workers, "ndjson", est, want.Vec(), wantDiag)
+		}
+		resp.Body.Close()
+
+		if err := stopSrv(); err != nil {
+			t.Fatalf("workers=%d: shutdown: %v", workers, err)
+		}
+	}
+}
+
+// checkBitwise asserts a served estimate equals the in-process reference
+// bit for bit.
+func checkBitwise(t *testing.T, workers int, proto string, got serve.Estimate, want []float64, wantDiag estimation.BinDiag) {
+	t.Helper()
+	if got.Diag != wantDiag {
+		t.Fatalf("workers=%d %s: diag %+v, want %+v", workers, proto, got.Diag, wantDiag)
+	}
+	if len(got.Estimate) != len(want) {
+		t.Fatalf("workers=%d %s: %d flows, want %d", workers, proto, len(got.Estimate), len(want))
+	}
+	for k, v := range got.Estimate {
+		if math.Float64bits(v) != math.Float64bits(want[k]) {
+			t.Fatalf("workers=%d %s: flow %d = %x, want %x (estimate drifted across HTTP)",
+				workers, proto, k, math.Float64bits(v), math.Float64bits(want[k]))
+		}
+	}
+}
+
+// TestServiceSmokeGolden pins the exact bytes of the service's response
+// to the checked-in GeantLike smoke request — the same files CI's
+// service-smoke step replays with curl against the built binary. The
+// response is a byte-deterministic function of the request, so this is
+// a regression snapshot of the whole serving stack; regenerate
+// deliberately with -update after a change that is supposed to move it.
+func TestServiceSmokeGolden(t *testing.T) {
+	reqPath := filepath.Join("testdata", "smoke_request.json")
+	goldenPath := filepath.Join("testdata", "golden_smoke_response.json")
+
+	if *update {
+		_, bin := geantBin(t)
+		var req bytes.Buffer
+		if err := json.NewEncoder(&req).Encode(serve.Request{
+			Scenario: "geant",
+			Prior:    json.RawMessage(`{"name":"gravity"}`),
+			Bins:     []serve.Bin{bin},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reqPath, req.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqBody, err := os.ReadFile(reqPath)
+	if err != nil {
+		t.Fatalf("read smoke request (regenerate with -update): %v", err)
+	}
+
+	url, stopSrv := startServer(t, "-workers", "2")
+	resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := stopSrv(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
+	}
+}
+
+// TestStatsEndpointAcrossRequests: telemetry accumulates over the
+// server's lifetime.
+func TestStatsEndpointAcrossRequests(t *testing.T) {
+	_, bin := geantBin(t)
+	url, stopSrv := startServer(t, "-workers", "2")
+	reqBody, _ := json.Marshal(serve.Request{Scenario: "geant", Bins: []serve.Bin{bin, {T: 1, Y: bin.Y}}})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Bins != 4 || st.Streams != 2 || st.Topologies != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := stopSrv(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

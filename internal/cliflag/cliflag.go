@@ -1,0 +1,51 @@
+// Package cliflag is the shared flag-hygiene helper of the cmd/ tools.
+// Several binaries have mode flags (-scenario presets, -check/-markdown
+// report modes) under which other flags are meaningless; historically
+// each tool silently ignored the conflicting flags, so a user typing
+// `icgen -scenario geant -n 100` got a 22-node Géant week with no hint
+// that -n did nothing. WarnIgnored makes the ignore explicit and
+// uniform across all six binaries.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// WarnIgnored emits one warning line per flag in names that the user
+// set explicitly but the active mode ignores, e.g.
+//
+//	icgen: warning: -n is ignored with -scenario geant
+//
+// tool is the binary name, reason the human-readable mode description.
+// Only flags actually present on the command line warn (defaults never
+// do; flag.FlagSet.Visit walks set flags only). The warned flag names
+// are returned for tests.
+func WarnIgnored(fs *flag.FlagSet, stderr io.Writer, tool, reason string, names ...string) []string {
+	ignored := make(map[string]bool, len(names))
+	for _, n := range names {
+		ignored[n] = true
+	}
+	var warned []string
+	fs.Visit(func(f *flag.Flag) {
+		if !ignored[f.Name] {
+			return
+		}
+		warned = append(warned, f.Name)
+		fmt.Fprintf(stderr, "%s: warning: -%s is ignored %s\n", tool, f.Name, reason)
+	})
+	return warned
+}
+
+// IsSet reports whether the user set the named flag explicitly on the
+// command line (as opposed to it holding its default).
+func IsSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

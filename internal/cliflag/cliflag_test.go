@@ -1,0 +1,76 @@
+package cliflag
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// newFS builds a flag set mirroring a typical tool surface.
+func newFS(stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.String("scenario", "", "")
+	fs.Int("n", 12, "")
+	fs.Uint64("seed", 1, "")
+	fs.Float64("f", 0.25, "")
+	return fs
+}
+
+// TestWarnIgnored is the table-driven contract of the warning helper:
+// explicitly set conflicting flags warn, defaulted ones stay silent,
+// and the message names the tool, the flag and the reason.
+func TestWarnIgnored(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		ignored    []string
+		wantWarned []string
+	}{
+		{"no flags set", nil, []string{"n", "seed"}, nil},
+		{"conflicting flag set", []string{"-scenario", "geant", "-n", "100"},
+			[]string{"n", "seed"}, []string{"n"}},
+		{"two conflicts", []string{"-scenario", "geant", "-n", "100", "-seed", "7"},
+			[]string{"n", "seed"}, []string{"n", "seed"}},
+		{"set but not conflicting", []string{"-f", "0.3"}, []string{"n", "seed"}, nil},
+		{"default value still warns when spelled out", []string{"-n", "12"},
+			[]string{"n"}, []string{"n"}},
+	}
+	for _, tc := range cases {
+		var stderr bytes.Buffer
+		fs := newFS(&stderr)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		warned := WarnIgnored(fs, &stderr, "tool", "with -scenario geant", tc.ignored...)
+		if !reflect.DeepEqual(warned, tc.wantWarned) {
+			t.Errorf("%s: warned %v, want %v", tc.name, warned, tc.wantWarned)
+		}
+		for _, w := range tc.wantWarned {
+			want := "tool: warning: -" + w + " is ignored with -scenario geant"
+			if !strings.Contains(stderr.String(), want) {
+				t.Errorf("%s: stderr missing %q:\n%s", tc.name, want, stderr.String())
+			}
+		}
+		if len(tc.wantWarned) == 0 && stderr.Len() > 0 {
+			t.Errorf("%s: unexpected stderr:\n%s", tc.name, stderr.String())
+		}
+	}
+}
+
+func TestIsSet(t *testing.T) {
+	var stderr bytes.Buffer
+	fs := newFS(&stderr)
+	if err := fs.Parse([]string{"-n", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSet(fs, "n") {
+		t.Error("-n was set")
+	}
+	if IsSet(fs, "seed") {
+		t.Error("-seed was not set")
+	}
+}

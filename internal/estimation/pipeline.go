@@ -69,24 +69,25 @@ func (o Options) noiseStream() *rng.PCG {
 	return rng.New(o.NoiseSeed).Derive("estimation/linknoise")
 }
 
-// BinDiag carries the non-fatal diagnostics of estimating one bin.
+// BinDiag carries the non-fatal diagnostics of estimating one bin. The
+// json tags are its wire form in the estimation service's responses.
 type BinDiag struct {
 	// IPFSweeps is the number of IPF sweeps performed (0 under SkipIPF).
-	IPFSweeps int
+	IPFSweeps int `json:"ipf_sweeps"`
 	// IPFConverged is false when IPF exhausted its sweep budget before
 	// reaching tolerance (ErrIPFNoConverge). The estimate is still
 	// usable but honours the measured marginals only approximately.
-	IPFConverged bool
+	IPFConverged bool `json:"ipf_converged"`
 	// WeightedDenseFallback is true when the weighted step's iterative
 	// solver stalled and the bin fell back to the dense reference path
 	// (correct but ~500x slower; see Solver.ProjectWeightedReport).
-	WeightedDenseFallback bool
+	WeightedDenseFallback bool `json:"weighted_dense_fallback,omitempty"`
 	// ProjectStalled is the unweighted counterpart: the bin's LSQR solve
 	// hit its iteration budget before tolerance. The estimate came from
 	// the dense SVD reference path when affordable at the problem's
 	// scale, and from the almost-converged iterate otherwise (see
 	// Solver.ProjectReport).
-	ProjectStalled bool
+	ProjectStalled bool `json:"project_stalled,omitempty"`
 }
 
 // BinResult is the outcome of estimating a single time bin.

@@ -1,0 +1,95 @@
+package estimation
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPriorStateRoundTrip: every serializable prior family reconstructs
+// a prior that produces the same matrix as its hand-built counterpart,
+// through the JSON wire form a service client would send.
+func TestPriorStateRoundTrip(t *testing.T) {
+	n := 4
+	ing := []float64{4, 3, 2, 1}
+	eg := []float64{1, 2, 3, 4}
+	pref := []float64{0.4, 0.3, 0.2, 0.1}
+	fanout := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.1, 0.2, 0.3, 0.4},
+		{0.4, 0.3, 0.2, 0.1},
+		{0.25, 0.25, 0.25, 0.25},
+	}
+	cases := []struct {
+		state PriorState
+		want  Prior
+	}{
+		{PriorState{Name: "gravity"}, GravityPrior{}},
+		{PriorState{Name: "ic-stable-f", F: 0.3}, &StableFPrior{F: 0.3}},
+		{PriorState{Name: "ic-stable-fP", F: 0.3, Pref: pref}, &StableFPPrior{F: 0.3, Pref: pref}},
+		{PriorState{Name: "fanout", Fanout: fanout}, &FanoutPrior{Fanout: fanout}},
+	}
+	for _, tc := range cases {
+		wire, err := json.Marshal(tc.state)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.state.Name, err)
+		}
+		var decoded PriorState
+		if err := json.Unmarshal(wire, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", tc.state.Name, err)
+		}
+		p, err := decoded.Prior(n)
+		if err != nil {
+			t.Fatalf("%s: Prior: %v", tc.state.Name, err)
+		}
+		if p.Name() != tc.state.Name {
+			t.Errorf("%s: reconstructed prior names itself %q", tc.state.Name, p.Name())
+		}
+		got, err := p.PriorFor(0, ing, eg)
+		if err != nil {
+			t.Fatalf("%s: PriorFor: %v", tc.state.Name, err)
+		}
+		want, err := tc.want.PriorFor(0, ing, eg)
+		if err != nil {
+			t.Fatalf("%s: reference PriorFor: %v", tc.state.Name, err)
+		}
+		for i, v := range got.Vec() {
+			if math.Float64bits(v) != math.Float64bits(want.Vec()[i]) {
+				t.Fatalf("%s: flow %d differs: %g vs %g", tc.state.Name, i, v, want.Vec()[i])
+			}
+		}
+	}
+}
+
+// TestPriorStateRejectsMalformed: malformed client payloads fail at
+// construction with ErrInput, not inside the first estimated bin.
+func TestPriorStateRejectsMalformed(t *testing.T) {
+	cases := []PriorState{
+		{},                          // no name
+		{Name: "ic-optimal"},        // not serializable
+		{Name: "bogus"},             // unknown
+		{Name: "ic-stable-f"},       // f missing (0)
+		{Name: "ic-stable-f", F: 1}, // f out of range
+		{Name: "ic-stable-f", F: math.NaN()},
+		{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2}},          // wrong length
+		{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2, -1, 3}},   // negative
+		{Name: "fanout", Fanout: [][]float64{{1}}},                     // wrong rows
+		{Name: "fanout", Fanout: [][]float64{{1, 0}, {0}}},             // ragged (n=2 below)
+		{Name: "fanout", Fanout: [][]float64{{1, 0}, {0, math.NaN()}}}, // NaN
+	}
+	for i, ps := range cases {
+		n := 4
+		if ps.Name == "fanout" {
+			n = 2
+		}
+		if _, err := ps.Prior(n); err == nil {
+			t.Errorf("case %d (%+v): want error", i, ps)
+		} else if !errors.Is(err, ErrInput) {
+			t.Errorf("case %d: error %v does not wrap ErrInput", i, err)
+		}
+	}
+	if _, err := (PriorState{Name: "gravity"}).Prior(0); err == nil {
+		t.Error("n=0 must fail")
+	}
+}

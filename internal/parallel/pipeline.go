@@ -1,0 +1,97 @@
+package parallel
+
+// Result is one item's outcome in a Pipeline stream. Unlike ForEach —
+// which cancels a bounded batch at the first failure — a streaming
+// pipeline must keep serving after a bad item, so per-item errors travel
+// in-band: the stream continues and the consumer decides what a failed
+// item means.
+type Result[R any] struct {
+	Value R
+	Err   error
+}
+
+// Pipeline is the streaming variant of the ordered worker pool: a fixed
+// set of workers maps an unbounded input stream through a function,
+// emitting results on Out() in exact submission order with bounded
+// buffering. Submit blocks once workers+buffer items are in flight and
+// unconsumed — backpressure propagates to the producer instead of
+// growing an unbounded queue.
+//
+// Determinism contract (the streaming mirror of ForEach's): every item
+// is processed independently and results are reassembled in submission
+// order, so for a pure per-item fn the output stream is bit-identical
+// for any worker count, including workers=1. Worker count tunes
+// wall-clock and nothing else.
+//
+// Submit may be called from multiple goroutines; the output order is
+// then the serialization order of the Submit calls themselves (for a
+// deterministic stream, submit from one goroutine). After Close, Submit
+// must not be called again; Out() drains the remaining in-flight items
+// and is then closed.
+type Pipeline[T, R any] struct {
+	jobs  chan pipeJob[T, R]
+	order chan chan Result[R]
+	out   chan Result[R]
+}
+
+type pipeJob[T, R any] struct {
+	v    T
+	slot chan Result[R]
+}
+
+// NewPipeline starts a streaming ordered pool of Resolve(workers)
+// workers over fn. buffer is the number of completed-but-unconsumed
+// results tolerated beyond the in-flight window before Submit blocks;
+// values < 0 select 0 (in-flight bounded by the worker count alone).
+func NewPipeline[T, R any](workers, buffer int, fn func(T) (R, error)) *Pipeline[T, R] {
+	w := Resolve(workers)
+	if buffer < 0 {
+		buffer = 0
+	}
+	p := &Pipeline[T, R]{
+		jobs: make(chan pipeJob[T, R]),
+		// The order channel is the backpressure bound: one entry per
+		// submitted-but-unconsumed item, drained by the collector only as
+		// the consumer reads Out().
+		order: make(chan chan Result[R], w+buffer),
+		out:   make(chan Result[R]),
+	}
+	// Workers wind down when jobs closes; no one waits on them directly —
+	// delivery of every submitted item is guaranteed by the collector
+	// draining the order channel (each slot is buffered, so a worker's
+	// final send never blocks).
+	for g := 0; g < w; g++ {
+		go func() {
+			for j := range p.jobs {
+				v, err := fn(j.v)
+				j.slot <- Result[R]{Value: v, Err: err}
+			}
+		}()
+	}
+	go func() {
+		for slot := range p.order {
+			p.out <- <-slot
+		}
+		close(p.out)
+	}()
+	return p
+}
+
+// Submit hands one item to the pool, blocking while the in-flight window
+// is full (bounded backpressure) or no worker is free to take the item.
+func (p *Pipeline[T, R]) Submit(v T) {
+	slot := make(chan Result[R], 1)
+	p.order <- slot
+	p.jobs <- pipeJob[T, R]{v: v, slot: slot}
+}
+
+// Close ends the input stream: workers wind down after finishing the
+// items already submitted, and Out() closes once they are all delivered.
+func (p *Pipeline[T, R]) Close() {
+	close(p.jobs)
+	close(p.order)
+}
+
+// Out returns the ordered result stream. It is closed after Close once
+// every submitted item has been delivered.
+func (p *Pipeline[T, R]) Out() <-chan Result[R] { return p.out }

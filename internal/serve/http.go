@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ictm/internal/synth"
+	"ictm/internal/topology"
+)
+
+// Request is the wire form of one estimation call. The topology may be
+// given explicitly (a topology.Spec) or by evaluation-scenario name —
+// "geant", "totem" or "isp" with N — which resolves to the exact graph
+// cmd/icest builds for that scenario. With neither, the server's
+// default scenario applies.
+type Request struct {
+	// Scenario names a preset topology ("geant", "totem", "isp").
+	Scenario string `json:"scenario,omitempty"`
+	// N sizes the "isp" scenario family (ignored otherwise).
+	N int `json:"n,omitempty"`
+	// Topology is the explicit descriptor; it wins over Scenario.
+	Topology topology.Spec `json:"topology,omitempty"`
+
+	Prior    json.RawMessage `json:"prior,omitempty"` // estimation.PriorState; default gravity
+	Weighted bool            `json:"weighted,omitempty"`
+	SkipIPF  bool            `json:"skip_ipf,omitempty"`
+
+	// Bins carries the observations of a single-shot JSON request. NDJSON
+	// streams send the header without bins, then one Bin per line.
+	Bins []Bin `json:"bins,omitempty"`
+}
+
+// Response is the single-shot JSON reply: per-bin estimates in request
+// order.
+type Response struct {
+	Results []Estimate `json:"results"`
+}
+
+// NDJSONContentType marks a streamed request/response body: one JSON
+// value per line.
+const NDJSONContentType = "application/x-ndjson"
+
+// ScenarioSpec resolves an evaluation-scenario name to its topology
+// descriptor (the synth.Scenario → topology pairing shared with
+// cmd/icest). n sizes the "isp" family and is ignored by the fixed-size
+// presets.
+func ScenarioSpec(name string, n int) (topology.Spec, error) {
+	switch name {
+	case "geant":
+		return synth.GeantLike().Topology(), nil
+	case "totem":
+		return synth.TotemLike().Topology(), nil
+	case "isp":
+		return synth.ISPLike(n).Topology(), nil
+	default:
+		return topology.Spec{}, fmt.Errorf("%w: unknown scenario %q (want geant, totem or isp)", ErrStream, name)
+	}
+}
+
+// streamSpec resolves a request header to the engine-level stream
+// context, applying the server default topology when the request names
+// none.
+func (h *handler) streamSpec(req Request) (StreamSpec, error) {
+	spec := StreamSpec{Weighted: req.Weighted, SkipIPF: req.SkipIPF}
+	switch {
+	case req.Topology.Family != "":
+		spec.Topology = req.Topology
+	case req.Scenario != "":
+		ts, err := ScenarioSpec(req.Scenario, req.N)
+		if err != nil {
+			return StreamSpec{}, err
+		}
+		spec.Topology = ts
+	default:
+		spec.Topology = h.defaultTopology
+	}
+	if len(req.Prior) == 0 {
+		spec.Prior.Name = "gravity"
+	} else if err := json.Unmarshal(req.Prior, &spec.Prior); err != nil {
+		return StreamSpec{}, fmt.Errorf("%w: prior: %v", ErrStream, err)
+	}
+	return spec, nil
+}
+
+type handler struct {
+	engine          *Engine
+	defaultTopology topology.Spec
+}
+
+// NewHandler returns the service's HTTP API over the engine:
+//
+//	POST /v1/estimate  — application/json: one Request with bins,
+//	                     answered by a Response;
+//	                     application/x-ndjson: a header line (Request
+//	                     without bins) followed by one Bin per line,
+//	                     answered by one Estimate per line, streamed in
+//	                     submission order as bins complete.
+//	GET  /v1/stats     — service-lifetime telemetry (Stats).
+//	GET  /healthz      — liveness.
+//
+// defaultTopology applies to requests that name neither a topology nor
+// a scenario.
+func NewHandler(e *Engine, defaultTopology topology.Spec) http.Handler {
+	h := &handler{engine: e, defaultTopology: defaultTopology}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/v1/stats", h.stats)
+	mux.HandleFunc("/v1/estimate", h.estimate)
+	return mux
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h.engine.Stats()); err != nil {
+		// Headers are gone; nothing better to do than drop the conn.
+		return
+	}
+}
+
+// httpError maps engine errors to status codes: invalid stream specs
+// are the client's fault.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrStream) {
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func (h *handler) estimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, NDJSONContentType) {
+		h.estimateStream(w, r)
+		return
+	}
+	h.estimateBatch(w, r)
+}
+
+// estimateBatch answers a single JSON request with all bins at once.
+func (h *handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+		return
+	}
+	spec, err := h.streamSpec(req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	results, err := h.engine.EstimateBatch(spec, req.Bins)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Marshal before committing the status: an unencodable estimate (a
+	// non-finite float produced by a degenerate observation) must become
+	// a 500, not a truncated 200 body.
+	body, err := json.Marshal(Response{Results: results})
+	if err != nil {
+		httpError(w, fmt.Errorf("encode response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n')) //nolint:errcheck // client gone; nothing to do
+}
+
+// estimateStream drives the NDJSON protocol: header line, then bins;
+// estimates stream back one line each, in submission order, flushed as
+// they complete so a slow producer still sees its finished bins. The
+// engine's bounded pipeline propagates backpressure to the request body
+// read.
+func (h *handler) estimateStream(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // bins at n=200 are ~40k floats per line
+	if !sc.Scan() {
+		http.Error(w, "empty stream: want a header line", http.StatusBadRequest)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		http.Error(w, fmt.Sprintf("decode header: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Bins) > 0 {
+		http.Error(w, "stream header must not carry bins (send them one per line)", http.StatusBadRequest)
+		return
+	}
+	spec, err := h.streamSpec(req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	stream, err := h.engine.Open(spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+
+	// The protocol reads bins while estimates stream back. Go's HTTP/1.x
+	// server half-closes the request body once the handler starts
+	// writing, so concurrent read/write needs full-duplex mode
+	// (HTTP/2 is always full duplex and reports ErrNotSupported).
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil &&
+		!errors.Is(err, http.ErrNotSupported) {
+		httpError(w, fmt.Errorf("enable full duplex: %w", err))
+		return
+	}
+
+	w.Header().Set("Content-Type", NDJSONContentType)
+	flusher, _ := w.(http.Flusher)
+	// writeLine emits one NDJSON line. Marshal failures (a non-finite
+	// float in the estimate) are per-bin failures and keep the
+	// one-result-per-bin contract by degrading to an in-band error line;
+	// write failures mean the client went away, and the stream keeps
+	// draining so the pipeline winds down instead of deadlocking against
+	// its backpressure.
+	writeLine := func(est Estimate) {
+		data, err := json.Marshal(est)
+		if err != nil {
+			est = Estimate{T: est.T, Error: fmt.Sprintf("encode estimate: %v", err)}
+			if data, err = json.Marshal(est); err != nil {
+				return // unreachable: the fallback has only finite fields
+			}
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeDone := make(chan struct{})
+	go func() {
+		defer close(writeDone)
+		for est := range stream.Out() {
+			writeLine(est)
+		}
+	}()
+
+	var readErr error
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var b Bin
+		if err := json.Unmarshal([]byte(line), &b); err != nil {
+			readErr = fmt.Errorf("decode bin: %w", err)
+			break
+		}
+		stream.Submit(b)
+	}
+	if readErr == nil {
+		readErr = sc.Err()
+	}
+	stream.Close()
+	<-writeDone
+	if readErr != nil {
+		// The response status is already committed; report in-band as a
+		// final NDJSON line.
+		writeLine(Estimate{Error: readErr.Error()})
+	}
+}

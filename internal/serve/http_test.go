@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ictm/internal/estimation"
+	"ictm/internal/synth"
+)
+
+// newTestServer starts the full HTTP API over a fresh engine, defaulting
+// to the test scenario's topology.
+func newTestServer(t testing.TB, workers int, sc synth.Scenario) (*httptest.Server, *Engine) {
+	t.Helper()
+	engine := NewEngine(workers)
+	srv := httptest.NewServer(NewHandler(engine, sc.Topology()))
+	t.Cleanup(srv.Close)
+	return srv, engine
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	sc, _ := testScenario(t)
+	srv, _ := newTestServer(t, 1, sc)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if resp, err := http.Post(srv.URL+"/healthz", "", nil); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /healthz: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPEstimateBatch: a single-shot JSON request returns per-bin
+// estimates matching the engine run directly, and the stats endpoint
+// reflects the work.
+func TestHTTPEstimateBatch(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:4]
+	srv, engine := newTestServer(t, 2, sc)
+
+	reqBody, err := json.Marshal(Request{
+		Topology: sc.Topology(),
+		Prior:    json.RawMessage(`{"name":"gravity"}`),
+		Bins:     bins,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got Response
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(bins) {
+		t.Fatalf("%d results for %d bins", len(got.Results), len(bins))
+	}
+	for i, est := range got.Results {
+		if est.Error != "" {
+			t.Fatalf("bin %d: %s", i, est.Error)
+		}
+		if est.T != i || est.N != sc.N || len(est.Estimate) != sc.N*sc.N {
+			t.Fatalf("bin %d: t=%d n=%d len=%d", i, est.T, est.N, len(est.Estimate))
+		}
+	}
+
+	stats, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Bins != 4 || st.Streams != 1 || st.Topologies != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if es := engine.Stats(); es != st {
+		t.Errorf("HTTP stats %+v != engine stats %+v", st, es)
+	}
+}
+
+// TestHTTPEstimateBatchMatchesEngineBitwise: the HTTP round trip must
+// not perturb a single bit of the estimates — JSON float64 encoding is
+// shortest-round-trip, so decoded values equal the in-process ones
+// exactly.
+func TestHTTPEstimateBatchMatchesEngineBitwise(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:3]
+	srv, _ := newTestServer(t, 4, sc)
+	reqBody, _ := json.Marshal(Request{Scenario: "isp", N: sc.N, Bins: bins})
+	// The "isp" scenario resolves to ISPLike(12)'s topology == sc's.
+	resp, err := http.Post(srv.URL+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Response
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(1).EstimateBatch(StreamSpec{
+		Topology: sc.Topology(),
+		Prior:    estimation.PriorState{Name: "gravity"},
+	}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Results[i].Error != "" {
+			t.Fatalf("bin %d: %s", i, got.Results[i].Error)
+		}
+		for k, v := range got.Results[i].Estimate {
+			if math.Float64bits(v) != math.Float64bits(want[i].Estimate[k]) {
+				t.Fatalf("bin %d flow %d drifted across HTTP: %x vs %x",
+					i, k, math.Float64bits(v), math.Float64bits(want[i].Estimate[k]))
+			}
+		}
+	}
+}
+
+// TestHTTPEstimateNDJSONStream: the streamed protocol returns one
+// estimate line per bin, in order, identical to the batch path.
+func TestHTTPEstimateNDJSONStream(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:5]
+	srv, _ := newTestServer(t, 3, sc)
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	if err := enc.Encode(Request{Scenario: "isp", N: sc.N}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bins {
+		if err := enc.Encode(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/estimate", NDJSONContentType, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != NDJSONContentType {
+		t.Errorf("Content-Type %q", ct)
+	}
+
+	want, err := NewEngine(1).EstimateBatch(StreamSpec{
+		Topology: sc.Topology(),
+		Prior:    estimation.PriorState{Name: "gravity"},
+	}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := bufio.NewScanner(resp.Body)
+	sc2.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	i := 0
+	for sc2.Scan() {
+		var est Estimate
+		if err := json.Unmarshal(sc2.Bytes(), &est); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if est.Error != "" {
+			t.Fatalf("line %d: %s", i, est.Error)
+		}
+		if est.T != i {
+			t.Fatalf("line %d carries t=%d", i, est.T)
+		}
+		for k, v := range est.Estimate {
+			if math.Float64bits(v) != math.Float64bits(want[i].Estimate[k]) {
+				t.Fatalf("bin %d flow %d differs from batch path", i, k)
+			}
+		}
+		i++
+	}
+	if err := sc2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(bins) {
+		t.Fatalf("got %d lines for %d bins", i, len(bins))
+	}
+}
+
+// TestHTTPNDJSONInterleavedDuplex drives the protocol the way a live
+// collector would: the client sends bin k+1 only after reading bin k's
+// estimate. This cannot make progress unless the server enables
+// full-duplex HTTP (reading the body while writing the response) and
+// flushes each estimate line as it completes — a regression in either
+// deadlocks here instead of shipping.
+func TestHTTPNDJSONInterleavedDuplex(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:4]
+	srv, _ := newTestServer(t, 2, sc)
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/estimate", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+
+	// The header and first bin go out before Do returns (Do blocks until
+	// response headers, which the server only writes on its first
+	// estimate).
+	go func() {
+		enc := json.NewEncoder(pw)
+		enc.Encode(Request{Scenario: "isp", N: sc.N}) //nolint:errcheck
+		enc.Encode(bins[0])                           //nolint:errcheck
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	dec := json.NewDecoder(resp.Body)
+	enc := json.NewEncoder(pw)
+	for i := range bins {
+		var est Estimate
+		if err := dec.Decode(&est); err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+		if est.T != i || est.Error != "" {
+			t.Fatalf("estimate %d: t=%d err=%q", i, est.T, est.Error)
+		}
+		if i+1 < len(bins) {
+			if err := enc.Encode(bins[i+1]); err != nil {
+				t.Fatalf("send bin %d: %v", i+1, err)
+			}
+		}
+	}
+	pw.Close()
+	if err := dec.Decode(new(Estimate)); err != io.EOF {
+		t.Fatalf("stream did not end cleanly: %v", err)
+	}
+}
+
+// TestHTTPBadRequests: malformed payloads get 400s, not 500s or hangs.
+func TestHTTPBadRequests(t *testing.T) {
+	sc, _ := testScenario(t)
+	srv, _ := newTestServer(t, 1, sc)
+	post := func(ct, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/estimate", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	cases := []struct {
+		name, ct, body string
+	}{
+		{"broken json", "application/json", `{"scenario":`},
+		{"unknown scenario", "application/json", `{"scenario":"nope"}`},
+		{"bad topology", "application/json", `{"topology":{"family":"bogus","n":4}}`},
+		{"bad prior", "application/json", `{"scenario":"isp","n":12,"prior":{"name":"bogus"}}`},
+		{"empty ndjson", NDJSONContentType, ""},
+		{"ndjson header with bins", NDJSONContentType, `{"scenario":"isp","n":12,"bins":[{"t":0,"y":[1]}]}`},
+		{"ndjson broken header", NDJSONContentType, `{"scenario":`},
+	}
+	for _, tc := range cases {
+		if resp := post(tc.ct, tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/estimate: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPDefaultTopology: a request naming nothing runs on the server
+// default.
+func TestHTTPDefaultTopology(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:1]
+	srv, engine := newTestServer(t, 1, sc)
+	reqBody, _ := json.Marshal(Request{Bins: bins})
+	resp, err := http.Post(srv.URL+"/v1/estimate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Response
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Error != "" {
+		t.Fatalf("results: %+v", got.Results)
+	}
+	if st := engine.Stats(); st.Topologies != 1 {
+		t.Errorf("default topology not pooled: %+v", st)
+	}
+}

@@ -1,0 +1,334 @@
+// Package serve is the online estimation engine behind cmd/icserve: the
+// long-lived subsystem that turns the batch reproduction into a service.
+// An Engine owns a topology-keyed pool of shared estimation.Solvers —
+// lazily constructed, once per distinct topology descriptor — and maps
+// unbounded streams of timestamped link-load bins to traffic-matrix
+// estimates through the deterministic streaming worker pool, with
+// bounded backpressure toward the producer and per-bin diagnostics
+// aggregated into service-lifetime telemetry.
+//
+// Determinism: estimation of one bin is a pure function of (topology,
+// prior state, options, bin), solvers are read-only after construction,
+// and the pipeline reassembles results in submission order — so the
+// estimate stream is bit-identical for any worker count. An estimate
+// served over HTTP equals estimation.EstimateBin run in-process on the
+// same inputs, byte for byte; cmd/icserve's end-to-end tests enforce
+// this.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ictm/internal/estimation"
+	"ictm/internal/parallel"
+	"ictm/internal/routing"
+	"ictm/internal/tm"
+	"ictm/internal/topology"
+)
+
+// ErrStream reports an invalid stream specification.
+var ErrStream = errors.New("serve: invalid stream")
+
+// defaultBuffer is the per-stream backpressure allowance beyond the
+// worker count: how many completed-but-unconsumed bins a stream may
+// accumulate before its producer blocks.
+const defaultBuffer = 16
+
+// defaultMaxTopologies bounds the solver pool: clients control the
+// topology descriptors they send, so without a cap a long-lived server
+// accumulates one routing matrix + solver (O(n²) memory each) per
+// distinct spec forever. Beyond the cap the least-recently-used entry
+// is evicted; a re-requested topology rebuilds deterministically, so
+// eviction costs latency, never correctness.
+const defaultMaxTopologies = 64
+
+// Bin is one timestamped link-load observation: the load vector y in
+// the routing row layout (internal links, then ingress, then egress
+// rows), observed at bin index T. T drives the priors' time dependence
+// and is echoed back on the estimate.
+type Bin struct {
+	T int       `json:"t"`
+	Y []float64 `json:"y"`
+}
+
+// StreamSpec fixes the per-stream estimation context shared by every
+// bin: which topology's routing matrix constrains the estimates, the
+// calibrated prior state, and the pipeline options.
+type StreamSpec struct {
+	// Topology describes the routing substrate. Streams naming the same
+	// descriptor share one lazily-built solver.
+	Topology topology.Spec `json:"topology"`
+	// Prior is the serialized calibration state (estimation.PriorState).
+	Prior estimation.PriorState `json:"prior"`
+	// Weighted selects the prior-weighted tomogravity projection.
+	Weighted bool `json:"weighted,omitempty"`
+	// SkipIPF disables the marginal-fitting step 3.
+	SkipIPF bool `json:"skip_ipf,omitempty"`
+}
+
+// Estimate is the outcome of one bin. Exactly one of Estimate/Error is
+// populated: a bad bin reports in-band and the stream continues.
+type Estimate struct {
+	// T echoes the bin index.
+	T int `json:"t"`
+	// N is the node count; Estimate is the row-major n×n TM estimate.
+	N        int       `json:"n,omitempty"`
+	Estimate []float64 `json:"estimate,omitempty"`
+	// Diag carries the bin's non-fatal pipeline diagnostics.
+	Diag estimation.BinDiag `json:"diag"`
+	// Error reports a per-bin failure (malformed load vector, prior
+	// breakdown); the stream keeps serving subsequent bins.
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is a snapshot of the engine's service-lifetime telemetry: the
+// streaming aggregate of the per-bin BinDiag diagnostics plus serving
+// counters.
+type Stats struct {
+	// Workers is the engine's per-stream worker bound.
+	Workers int `json:"workers"`
+	// Topologies is the number of routing substrates currently pooled;
+	// TopologiesEvicted counts pool entries dropped by the LRU bound.
+	Topologies        int   `json:"topologies"`
+	TopologiesEvicted int64 `json:"topologies_evicted"`
+	// Streams counts estimation streams opened (batches included).
+	Streams int64 `json:"streams"`
+	// Bins counts bins estimated, BinErrors those that failed in-band.
+	Bins      int64 `json:"bins"`
+	BinErrors int64 `json:"bin_errors"`
+	// IPFNonConverged, ProjectStalls and WeightedDenseFallbacks
+	// aggregate the corresponding BinDiag flags (see estimation.RunStats
+	// for their operational meaning).
+	IPFNonConverged        int64 `json:"ipf_non_converged"`
+	ProjectStalls          int64 `json:"project_stalls"`
+	WeightedDenseFallbacks int64 `json:"weighted_dense_fallbacks"`
+}
+
+// Engine is the shared, long-lived estimation core. It is safe for
+// concurrent use: solver construction is once-guarded per topology key,
+// solvers are read-only afterwards, and telemetry is atomic.
+type Engine struct {
+	workers int
+	buffer  int
+	// maxTopologies bounds the solver pool (LRU eviction beyond it).
+	maxTopologies int
+
+	mu      sync.Mutex
+	solvers map[string]*solverEntry
+	tick    int64 // monotonic use counter driving the LRU order
+	evicted int64
+
+	streams   atomic.Int64
+	bins      atomic.Int64
+	binErrors atomic.Int64
+	ipfNC     atomic.Int64
+	stalls    atomic.Int64
+	denseFB   atomic.Int64
+}
+
+// solverEntry is one topology's lazily-built solver. The once guards
+// graph + routing + solver construction (the FactorDense pattern): the
+// first stream naming a topology pays the O(nnz) build, every later
+// stream shares the result, and a failed build is cached as its error.
+type solverEntry struct {
+	once   sync.Once
+	rm     *routing.Matrix
+	solver *estimation.Solver
+	err    error
+	// lastUse is the engine tick of the entry's most recent lookup,
+	// guarded by the engine mutex.
+	lastUse int64
+}
+
+// NewEngine returns an engine whose streams estimate bins with at most
+// Resolve(workers) concurrent workers each (0 = GOMAXPROCS, 1 = strictly
+// sequential; results are identical for every value).
+func NewEngine(workers int) *Engine {
+	return &Engine{
+		workers:       workers,
+		buffer:        defaultBuffer,
+		maxTopologies: defaultMaxTopologies,
+		solvers:       make(map[string]*solverEntry),
+	}
+}
+
+// solverFor returns the shared solver for a topology descriptor,
+// building it on first use. The pool is LRU-bounded: inserting beyond
+// maxTopologies evicts the least-recently-used entry (failed builds
+// included, so an attacker cannot pin the pool with broken specs).
+// Streams hold direct solver references, so evicting an entry never
+// invalidates work in flight — the next lookup just rebuilds.
+func (e *Engine) solverFor(spec topology.Spec) (*estimation.Solver, *routing.Matrix, error) {
+	key := spec.Key()
+	e.mu.Lock()
+	e.tick++
+	ent, ok := e.solvers[key]
+	if !ok {
+		if len(e.solvers) >= e.maxTopologies {
+			var lruKey string
+			lru := int64(1<<63 - 1)
+			for k, s := range e.solvers {
+				if s.lastUse < lru {
+					lru, lruKey = s.lastUse, k
+				}
+			}
+			delete(e.solvers, lruKey)
+			e.evicted++
+		}
+		ent = &solverEntry{}
+		e.solvers[key] = ent
+	}
+	ent.lastUse = e.tick
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		g, err := spec.Build()
+		if err != nil {
+			ent.err = fmt.Errorf("serve: build topology: %w", err)
+			return
+		}
+		rm, err := routing.Build(g)
+		if err != nil {
+			ent.err = fmt.Errorf("serve: build routing: %w", err)
+			return
+		}
+		solver, err := estimation.NewSolver(rm)
+		if err != nil {
+			ent.err = fmt.Errorf("serve: build solver: %w", err)
+			return
+		}
+		ent.rm, ent.solver = rm, solver
+	})
+	return ent.solver, ent.rm, ent.err
+}
+
+// Stream is one open estimation stream: submit bins, read estimates in
+// submission order. Close after the last Submit; Out closes once every
+// submitted bin has been delivered.
+type Stream struct {
+	n    int
+	pipe *parallel.Pipeline[Bin, Estimate]
+	out  chan Estimate
+}
+
+// N returns the stream topology's node count (estimates are n×n).
+func (s *Stream) N() int { return s.n }
+
+// Submit hands one observation to the stream, blocking under
+// backpressure once workers+buffer bins are in flight.
+func (s *Stream) Submit(b Bin) { s.pipe.Submit(b) }
+
+// Close ends the input; in-flight bins drain to Out, which then closes.
+func (s *Stream) Close() { s.pipe.Close() }
+
+// Out returns the ordered estimate stream.
+func (s *Stream) Out() <-chan Estimate { return s.out }
+
+// Open validates the stream context, lazily builds (or reuses) the
+// topology's solver, and starts the estimation pipeline. A per-bin
+// failure is reported on that bin's Estimate.Error and the stream keeps
+// serving; Open itself fails only on an invalid spec.
+func (e *Engine) Open(spec StreamSpec) (*Stream, error) {
+	solver, rm, err := e.solverFor(spec.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	prior, err := spec.Prior.Prior(rm.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: prior: %v", ErrStream, err)
+	}
+	opts := estimation.Options{Weighted: spec.Weighted, SkipIPF: spec.SkipIPF}
+	rows := rm.Rows()
+	e.streams.Add(1)
+
+	pipe := parallel.NewPipeline(e.workers, e.buffer, func(b Bin) (Estimate, error) {
+		if len(b.Y) != rows {
+			return Estimate{T: b.T}, fmt.Errorf("bin %d: load vector of %d, want %d (L=%d internal links + 2n=%d marginal rows)",
+				b.T, len(b.Y), rows, rm.L, 2*rm.N)
+		}
+		est, diag, err := estimation.EstimateBin(solver, prior, b.T, b.Y, opts)
+		if err != nil {
+			return Estimate{T: b.T}, err
+		}
+		return Estimate{T: b.T, N: rm.N, Estimate: est.Vec(), Diag: diag}, nil
+	})
+
+	out := make(chan Estimate)
+	go func() {
+		for r := range pipe.Out() {
+			est := r.Value
+			e.bins.Add(1)
+			if r.Err != nil {
+				e.binErrors.Add(1)
+				est.Error = r.Err.Error()
+			} else {
+				if !est.Diag.IPFConverged {
+					e.ipfNC.Add(1)
+				}
+				if est.Diag.ProjectStalled {
+					e.stalls.Add(1)
+				}
+				if est.Diag.WeightedDenseFallback {
+					e.denseFB.Add(1)
+				}
+			}
+			out <- est
+		}
+		close(out)
+	}()
+	return &Stream{n: rm.N, pipe: pipe, out: out}, nil
+}
+
+// EstimateBatch is the one-shot convenience over Open: estimate a bin
+// slice and collect the results in order.
+func (e *Engine) EstimateBatch(spec StreamSpec, bins []Bin) ([]Estimate, error) {
+	s, err := e.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan []Estimate)
+	go func() {
+		out := make([]Estimate, 0, len(bins))
+		for est := range s.Out() {
+			out = append(out, est)
+		}
+		done <- out
+	}()
+	for _, b := range bins {
+		s.Submit(b)
+	}
+	s.Close()
+	return <-done, nil
+}
+
+// Stats returns a telemetry snapshot.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	topologies := len(e.solvers)
+	evicted := e.evicted
+	e.mu.Unlock()
+	return Stats{
+		Workers:                parallel.Resolve(e.workers),
+		Topologies:             topologies,
+		TopologiesEvicted:      evicted,
+		Streams:                e.streams.Load(),
+		Bins:                   e.bins.Load(),
+		BinErrors:              e.binErrors.Load(),
+		IPFNonConverged:        e.ipfNC.Load(),
+		ProjectStalls:          e.stalls.Load(),
+		WeightedDenseFallbacks: e.denseFB.Load(),
+	}
+}
+
+// LinkLoads is a convenience for tests and clients generating synthetic
+// observations: Y = R·vec(x) for the topology's routing matrix. It
+// shares (and lazily builds) the engine's solver pool entry.
+func (e *Engine) LinkLoads(spec topology.Spec, x *tm.TrafficMatrix) ([]float64, error) {
+	_, rm, err := e.solverFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	return rm.LinkLoads(x)
+}

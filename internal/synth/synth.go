@@ -24,11 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"ictm/internal/netflow"
 	"ictm/internal/parallel"
 	"ictm/internal/rng"
 	"ictm/internal/tm"
+	"ictm/internal/topology"
 )
 
 // ErrScenario reports an invalid scenario specification.
@@ -222,6 +224,21 @@ func ISPLike(n int) Scenario {
 		SamplingRate:       0.001,
 		AvgPacketBytes:     800,
 	}
+}
+
+// Topology returns the serializable descriptor of the evaluation
+// topology paired with the scenario: the backbone-plus-stub family for
+// the parameterized ISP scenarios, the Waxman(0.6, 0.4) graph the
+// paper-scale presets (and custom scenarios) have always used. This is
+// the single source of the scenario→topology pairing — cmd/icest and
+// the estimation service build the same graphs from it, so an estimate
+// served over the wire is computed against the exact routing matrix a
+// local run would use.
+func (sc Scenario) Topology() topology.Spec {
+	if strings.HasPrefix(sc.Name, "isp-") {
+		return topology.Spec{Family: topology.FamilyBackboneStub, N: sc.N, Seed: sc.Seed}
+	}
+	return topology.Spec{Family: topology.FamilyWaxman, N: sc.N, Seed: sc.Seed, Alpha: 0.6, Beta: 0.4}
 }
 
 // Dataset is a generated ground-truth ensemble together with the latent

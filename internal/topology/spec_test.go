@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// graphsEqual compares node counts and exact edge lists.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpecBuildMatchesGenerators: every generator family rebuilt through
+// its Spec must equal the direct generator call, including the waxman
+// defaults that the geant/totem presets rely on.
+func TestSpecBuildMatchesGenerators(t *testing.T) {
+	direct := func() (*Graph, error) { return Waxman(22, 0.6, 0.4, 99) }
+	cases := []struct {
+		name   string
+		spec   Spec
+		direct func() (*Graph, error)
+	}{
+		{"waxman-defaults", Spec{Family: FamilyWaxman, N: 22, Seed: 99}, direct},
+		{"waxman-explicit-params", Spec{Family: FamilyWaxman, N: 22, Seed: 99, Alpha: 0.6, Beta: 0.4}, direct},
+		{"ring-chords", Spec{Family: FamilyRingChords, N: 10, Chords: 3, Seed: 7},
+			func() (*Graph, error) { return RingChords(10, 3, 7) }},
+		{"backbone-stub-default-core", Spec{Family: FamilyBackboneStub, N: 40, Seed: 5},
+			func() (*Graph, error) { return BackboneStub(40, 0, 5) }},
+	}
+	for _, tc := range cases {
+		want, err := tc.direct()
+		if err != nil {
+			t.Fatalf("%s: direct: %v", tc.name, err)
+		}
+		got, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: spec build: %v", tc.name, err)
+		}
+		if !graphsEqual(got, want) {
+			t.Errorf("%s: spec-built graph differs from generator", tc.name)
+		}
+	}
+}
+
+// TestSpecExplicit: the explicit family reproduces the literal edge list.
+func TestSpecExplicit(t *testing.T) {
+	spec := Spec{Family: FamilyExplicit, N: 3, Edges: []EdgeSpec{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 0, Weight: 1},
+		{From: 1, To: 2, Weight: 2.5},
+		{From: 2, To: 1, Weight: 2.5},
+	}}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d edges=%d", g.N(), g.NumEdges())
+	}
+	if e := g.Edges()[2]; e.From != 1 || e.To != 2 || e.Weight != 2.5 {
+		t.Errorf("edge 2 = %+v", e)
+	}
+}
+
+// TestSpecBuildErrors: unknown families and invalid explicit edges fail.
+func TestSpecBuildErrors(t *testing.T) {
+	for _, spec := range []Spec{
+		{Family: "nope", N: 5},
+		{Family: FamilyExplicit, N: 0},
+		{Family: FamilyExplicit, N: 2, Edges: []EdgeSpec{{From: 0, To: 5, Weight: 1}}},
+		{Family: FamilyWaxman, N: 1},
+	} {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %+v: want error", spec)
+		}
+	}
+}
+
+// TestSpecKeyCanonical: equivalent descriptors share a key, different
+// parameters do not, and keys survive a JSON round-trip (the wire form
+// clients send).
+func TestSpecKeyCanonical(t *testing.T) {
+	a := Spec{Family: FamilyWaxman, N: 22, Seed: 99}
+	b := Spec{Family: FamilyWaxman, N: 22, Seed: 99, Alpha: 0.6, Beta: 0.4}
+	if a.Key() != b.Key() {
+		t.Errorf("defaulted and explicit waxman specs key differently:\n%s\n%s", a.Key(), b.Key())
+	}
+	// Irrelevant fields must not split the cache.
+	c := Spec{Family: FamilyBackboneStub, N: 40, Seed: 5, Alpha: 0.9, Chords: 7}
+	d := Spec{Family: FamilyBackboneStub, N: 40, Seed: 5}
+	if c.Key() != d.Key() {
+		t.Errorf("irrelevant fields changed the backbone-stub key")
+	}
+	if a.Key() == d.Key() {
+		t.Error("different families share a key")
+	}
+	e := Spec{Family: FamilyWaxman, N: 23, Seed: 99}
+	if a.Key() == e.Key() {
+		t.Error("different n shares a key")
+	}
+
+	var rt Spec
+	if err := json.Unmarshal([]byte(a.Key()), &rt); err != nil {
+		t.Fatalf("key is not valid JSON: %v", err)
+	}
+	if rt.Key() != a.Key() {
+		t.Errorf("key not stable under round-trip: %s vs %s", rt.Key(), a.Key())
+	}
+}
