@@ -8,6 +8,7 @@ import (
 	"ictm/internal/fit"
 	"ictm/internal/packet"
 	"ictm/internal/routing"
+	"ictm/internal/serve"
 	"ictm/internal/synth"
 	"ictm/internal/topology"
 )
@@ -111,15 +112,14 @@ func benchEstimationWorkers(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	solver, err := estimation.NewSolver(rm)
+	est, err := estimation.NewEstimator(rm, estimation.WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := EstimationOptions{Workers: workers}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := estimation.RunWithSolver(solver, d.Series, GravityPrior{}, opts); err != nil {
+		if _, err := est.EstimateSeries(d.Series, GravityPrior{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -289,11 +289,11 @@ func benchEstimationISPLike(b *testing.B, n int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		solver, err := estimation.NewSolver(rm)
+		est, err := estimation.NewEstimator(rm)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := estimation.RunWithSolver(solver, d.Series, GravityPrior{}, EstimationOptions{}); err != nil {
+		if _, err := est.EstimateSeries(d.Series, GravityPrior{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -470,8 +470,8 @@ func BenchmarkIPF(b *testing.B) {
 // --- ablation benchmarks (design choices called out in DESIGN.md) ---
 
 // benchEstimation runs the estimation pipeline over a small fixture with
-// the given options, for pipeline-variant ablations.
-func benchEstimation(b *testing.B, opts EstimationOptions) {
+// the given session options, for pipeline-variant ablations.
+func benchEstimation(b *testing.B, opts ...EstimatorOption) {
 	b.Helper()
 	d := benchSeries(b, 12, 14)
 	g, err := topology.Waxman(12, 0.6, 0.4, 2)
@@ -482,10 +482,14 @@ func benchEstimation(b *testing.B, opts EstimationOptions) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	est, err := NewEstimator(rm, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := EstimateTMs(rm, d.Series, GravityPrior{}, opts); err != nil {
+		if _, err := est.EstimateSeries(d.Series, GravityPrior{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -493,19 +497,19 @@ func benchEstimation(b *testing.B, opts EstimationOptions) {
 
 // BenchmarkAblationEstimationWithIPF is the default pipeline (step 3 on).
 func BenchmarkAblationEstimationWithIPF(b *testing.B) {
-	benchEstimation(b, EstimationOptions{})
+	benchEstimation(b)
 }
 
 // BenchmarkAblationEstimationNoIPF drops step 3 (IPF) to measure its
 // cost share.
 func BenchmarkAblationEstimationNoIPF(b *testing.B) {
-	benchEstimation(b, EstimationOptions{SkipIPF: true})
+	benchEstimation(b, WithSkipIPF(true))
 }
 
 // BenchmarkAblationEstimationWeighted swaps step 2 for the
 // prior-weighted tomogravity variant (per-bin refactorization).
 func BenchmarkAblationEstimationWeighted(b *testing.B) {
-	benchEstimation(b, EstimationOptions{Weighted: true})
+	benchEstimation(b, WithWeighted(true))
 }
 
 // BenchmarkAblationFitSimplified and ...FitGeneral compare the
@@ -541,6 +545,88 @@ func BenchmarkAblationFitTryMirror(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := fit.StableFP(d.Series, fit.Options{TryMirror: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- serving-engine benchmarks (registered handles vs inline v1) ---
+
+// benchEngineBins builds the shared fixture of the engine pair: a
+// GeantLike observation batch on the scenario's own topology.
+func benchEngineBins(b *testing.B) (topology.Spec, []serve.Bin) {
+	b.Helper()
+	sc := synth.GeantLike()
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sc.Topology()
+	g, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins := make([]serve.Bin, d.Series.Len())
+	for i := range bins {
+		y, err := rm.LinkLoads(d.Series.At(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bins[i] = serve.Bin{T: i, Y: y}
+	}
+	return spec, bins
+}
+
+// BenchmarkEngineRegisteredPrior measures the v2 session path: the
+// topology and prior are registered once and every batch references
+// them by handle — the steady-state per-request cost the register-once
+// API is supposed to win on (the PR 5 acceptance criterion requires
+// parity or better against BenchmarkEngineInlinePrior).
+func BenchmarkEngineRegisteredPrior(b *testing.B) {
+	spec, bins := benchEngineBins(b)
+	engine := serve.NewEngine(1)
+	if _, _, err := engine.RegisterTopology("bench", spec); err != nil {
+		b.Fatal(err)
+	}
+	handle, _, err := engine.RegisterPrior("bench", estimation.PriorState{Name: "ic-stable-f", F: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := serve.SessionSpec{Topology: "bench", Prior: handle}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.EstimateBatch(session, bins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(bins) {
+			b.Fatalf("%d estimates for %d bins", len(out), len(bins))
+		}
+	}
+}
+
+// BenchmarkEngineInlinePrior measures the v1 inline path on identical
+// inputs: the topology descriptor and prior state are re-validated on
+// every batch.
+func BenchmarkEngineInlinePrior(b *testing.B) {
+	spec, bins := benchEngineBins(b)
+	engine := serve.NewEngine(1)
+	stream := serve.StreamSpec{Topology: spec, Prior: estimation.PriorState{Name: "ic-stable-f", F: 0.25}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.EstimateBatchInline(stream, bins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(bins) {
+			b.Fatalf("%d estimates for %d bins", len(out), len(bins))
 		}
 	}
 }

@@ -140,24 +140,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		&estimation.StableFPPrior{F: calibFit.Params.F, Pref: calibFit.Params.Pref},
 		&estimation.StableFPrior{F: calibFit.Params.F},
 	}
-	opts := estimation.Options{
-		Weighted:       *weighted || *wDense,
-		WeightedDense:  *wDense,
-		Dense:          *dense,
-		LinkNoiseSigma: *linkNoise,
-		NoiseSeed:      sc.Seed,
-		Workers:        *workers,
+	// One estimation session owns the solver and sweep policy; the
+	// priors are the only per-call variation.
+	estimator, err := estimation.NewEstimator(rm,
+		estimation.WithWeighted(*weighted),
+		estimation.WithWeightedDense(*wDense),
+		estimation.WithDense(*dense),
+		estimation.WithLinkNoise(*linkNoise, sc.Seed),
+		estimation.WithWorkers(*workers),
+	)
+	if err != nil {
+		return err
 	}
-	results, runStats, err := estimation.CompareStats(rm, target, priors, opts)
+	results, err := estimator.Compare(target, priors)
 	if err != nil {
 		return err
 	}
 
-	gravMean, _ := stats.FiniteMean(results["gravity"])
+	gravMean, _ := stats.FiniteMean(results["gravity"].Errors)
 	fmt.Fprintf(stdout, "%-14s %-12s %-12s %-12s %s\n", "prior", "mean RelL2", "p95 RelL2", "vs gravity", "IPF non-conv")
 	for _, p := range priors {
-		errs := results[p.Name()]
-		rs := runStats[p.Name()]
+		errs := results[p.Name()].Errors
+		rs := results[p.Name()].Stats
 		p95, _ := stats.Quantile(errs, 0.95)
 		mean, dropped := stats.FiniteMean(errs)
 		imp := 0.0

@@ -1,20 +1,26 @@
 // Command icserve is the online estimation service: a long-lived HTTP
 // server that ingests link-load observations and emits traffic-matrix
-// estimates computed by the shared tomogravity pipeline. Topologies are
-// registered implicitly — every request names a scenario preset or a
-// serializable topology descriptor, and the engine lazily builds (and
-// then shares) one solver per distinct topology.
+// estimates computed by the shared tomogravity pipeline.
 //
-// API (see internal/serve for the wire types):
+// The v2 API is session-centric: topologies and prior calibration state
+// are registered once — validated at registration time — and every
+// estimation call references them by handle. The v1 API ships both
+// inline on every request and remains byte-compatible as a shim over
+// the same engine. See internal/serve for the wire types.
 //
-//	POST /v1/estimate   application/json:     {"scenario":"geant","prior":{"name":"gravity"},"bins":[{"t":0,"y":[...]}]}
-//	                    application/x-ndjson: header line, then one bin per line; estimates stream back per line
-//	GET  /v1/stats      service-lifetime telemetry
-//	GET  /healthz       liveness
+//	PUT  /v2/topologies/{key}         register a topology.Spec under a client key (201/200/409)
+//	GET  /v2/topologies               list registered topologies
+//	POST /v2/topologies/{key}/priors  register estimation.PriorState, get the prior handle (404 for unknown key)
+//	POST /v2/estimate                 application/json:     {"topology":"key","prior":"pr-...","bins":[{"t":0,"y":[...]}]}
+//	                                  application/x-ndjson: header line, then one bin per line; estimates stream back per line
+//	POST /v1/estimate                 inline v1 protocol (topology/scenario + prior state per request)
+//	GET  /v1/stats                    service-lifetime telemetry
+//	GET  /healthz                     liveness
 //
 // Estimates are bit-identical for any -workers value and equal to
-// estimation.EstimateBin run in-process: the service adds availability,
-// never arithmetic.
+// Estimator.EstimateBin run in-process: the service adds availability,
+// never arithmetic. On SIGINT/SIGTERM the engine drains: new sessions
+// and registrations get 503 while in-flight streams finish.
 //
 // Usage:
 //
@@ -99,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		return fmt.Errorf("serve: %w", err)
 	case <-stop:
 		fmt.Fprintln(stderr, "icserve: shutting down")
+		// Refuse new sessions and registrations (503) while Shutdown
+		// waits for in-flight streams.
+		engine.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -171,7 +171,7 @@ func geantBin(t testing.TB) (sc synth.Scenario, bin serve.Bin) {
 
 // TestServeEndToEndBitwise is the acceptance criterion: estimates
 // returned over real HTTP for a GeantLike bin are bitwise-identical to
-// estimation.EstimateBin run in-process, for workers 1 and 8, through
+// Estimator.EstimateBin run in-process, for workers 1 and 8, through
 // both the JSON and NDJSON protocols, and the server drains cleanly.
 func TestServeEndToEndBitwise(t *testing.T) {
 	sc, bin := geantBin(t)
@@ -185,11 +185,11 @@ func TestServeEndToEndBitwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver, err := estimation.NewSolver(rm)
+	ref, err := estimation.NewEstimator(rm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, wantDiag, err := estimation.EstimateBin(solver, estimation.GravityPrior{}, 0, bin.Y, estimation.Options{})
+	want, wantDiag, err := ref.EstimateBin(estimation.GravityPrior{}, 0, bin.Y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,6 +320,215 @@ func TestServiceSmokeGolden(t *testing.T) {
 	}
 	if !bytes.Equal(body, want) {
 		t.Errorf("response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
+	}
+}
+
+// putSpec PUTs a topology registration and returns the response.
+func putSpec(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeV2EndToEndBitwise is the v2 acceptance criterion against a
+// really-listening server: register the topology and prior by handle,
+// stream bins over NDJSON, and assert every estimate equals in-process
+// Estimator.EstimateBin bit for bit, for workers 1 and 8.
+func TestServeV2EndToEndBitwise(t *testing.T) {
+	sc, bin := geantBin(t)
+	state := estimation.PriorState{Name: "ic-stable-f", F: 0.25}
+
+	// In-process reference through the session API.
+	g, err := sc.Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := estimation.NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := ref.RegisterPrior(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		url, stopSrv := startServer(t, "-workers", fmt.Sprint(workers))
+
+		specBody, _ := json.Marshal(sc.Topology())
+		resp := putSpec(t, url+"/v2/topologies/geant", specBody)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("workers=%d: PUT topology %d", workers, resp.StatusCode)
+		}
+		resp.Body.Close()
+		stateBody, _ := json.Marshal(state)
+		resp, err = http.Post(url+"/v2/topologies/geant/priors", "application/json", bytes.NewReader(stateBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var preg serve.PriorRegistration
+		if err := json.NewDecoder(resp.Body).Decode(&preg); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated || preg.Handle == "" {
+			t.Fatalf("workers=%d: POST prior %d %+v", workers, resp.StatusCode, preg)
+		}
+
+		// NDJSON stream of three bins by handle.
+		var stream bytes.Buffer
+		enc := json.NewEncoder(&stream)
+		enc.Encode(serve.EstimateRequest{ //nolint:errcheck
+			SessionSpec: serve.SessionSpec{Topology: "geant", Prior: preg.Handle},
+		})
+		for i := 0; i < 3; i++ {
+			enc.Encode(serve.Bin{T: i, Y: bin.Y}) //nolint:errcheck
+		}
+		resp, err = http.Post(url+"/v2/estimate", serve.NDJSONContentType, &stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for i := 0; i < 3; i++ {
+			var est serve.Estimate
+			if err := dec.Decode(&est); err != nil {
+				t.Fatalf("workers=%d line %d: %v", workers, i, err)
+			}
+			if est.T != i || est.Error != "" {
+				t.Fatalf("workers=%d line %d: t=%d err=%q", workers, i, est.T, est.Error)
+			}
+			want, wantDiag, err := ref.EstimateBin(prior, i, bin.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBitwise(t, workers, "v2-ndjson", est, want.Vec(), wantDiag)
+		}
+		resp.Body.Close()
+
+		if err := stopSrv(); err != nil {
+			t.Fatalf("workers=%d: shutdown: %v", workers, err)
+		}
+	}
+}
+
+// TestServiceSmokeV2Golden pins the exact bytes of the v2 register →
+// estimate flow on the checked-in GeantLike smoke files — the same
+// files CI's service-smoke step replays with curl against the built
+// binary: PUT the topology, POST the prior state, POST the estimate
+// request that references the resources by key and deterministic
+// handle, and byte-compare the response. Regenerate deliberately with
+// -update after a change that is supposed to move it.
+func TestServiceSmokeV2Golden(t *testing.T) {
+	topoPath := filepath.Join("testdata", "smoke_v2_topology.json")
+	priorPath := filepath.Join("testdata", "smoke_v2_prior.json")
+	reqPath := filepath.Join("testdata", "smoke_v2_request.json")
+	goldenPath := filepath.Join("testdata", "golden_smoke_v2_response.json")
+
+	url, stopSrv := startServer(t, "-workers", "2")
+
+	if *update {
+		sc, bin := geantBin(t)
+		var topo bytes.Buffer
+		if err := json.NewEncoder(&topo).Encode(sc.Topology()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(topoPath, topo.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var prior bytes.Buffer
+		if err := json.NewEncoder(&prior).Encode(estimation.PriorState{Name: "ic-stable-f", F: 0.25}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(priorPath, prior.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The prior handle is a deterministic content hash, so it can be
+		// baked into the checked-in estimate request; discover it by
+		// registering against the live server.
+		resp := putSpec(t, url+"/v2/topologies/geant", topo.Bytes())
+		resp.Body.Close()
+		resp, err := http.Post(url+"/v2/topologies/geant/priors", "application/json", bytes.NewReader(prior.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var preg serve.PriorRegistration
+		if err := json.NewDecoder(resp.Body).Decode(&preg); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		var req bytes.Buffer
+		if err := json.NewEncoder(&req).Encode(serve.EstimateRequest{
+			SessionSpec: serve.SessionSpec{Topology: "geant", Prior: preg.Handle},
+			Bins:        []serve.Bin{bin},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reqPath, req.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	read := func(path string) []byte {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s (regenerate with -update): %v", path, err)
+		}
+		return data
+	}
+	topoBody, priorBody, reqBody := read(topoPath), read(priorPath), read(reqPath)
+
+	resp := putSpec(t, url+"/v2/topologies/geant", topoBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(url+"/v2/topologies/geant/priors", "application/json", bytes.NewReader(priorBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST prior: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/v2/estimate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := stopSrv(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want := read(goldenPath)
+	if !bytes.Equal(body, want) {
+		t.Errorf("v2 response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
 	}
 }
 

@@ -54,16 +54,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, prior := range []ictm.Prior{
-		ictm.GravityPrior{},
-		&ictm.StableFPPrior{F: calib.Params.F, Pref: calib.Params.Pref},
-		&ictm.StableFPrior{F: calib.Params.F},
-	} {
-		_, errs, err := ictm.EstimateTMs(rm, thisWeek, prior, ictm.EstimationOptions{})
+	// One estimation session owns the solver; priors are registered
+	// calibration state referenced per call — the same register-once
+	// shape the icserve HTTP API exposes as topology keys and prior
+	// handles.
+	est, err := ictm.NewEstimator(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stableFP, err := est.RegisterPrior(ictm.PriorState{
+		Name: "ic-stable-fP", F: calib.Params.F, Pref: calib.Params.Pref,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stableF, err := est.RegisterPrior(ictm.PriorState{Name: "ic-stable-f", F: calib.Params.F})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, prior := range []ictm.Prior{ictm.GravityPrior{}, stableFP, stableF} {
+		r, err := est.EstimateSeries(thisWeek, prior)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  prior %-14s mean RelL2 = %.4f\n", prior.Name(), mean(errs))
+		fmt.Printf("  prior %-14s mean RelL2 = %.4f\n", prior.Name(), mean(r.Errors))
 	}
 	fmt.Println("\nthe IC priors use week-1 parameters plus this week's node totals only —")
 	fmt.Println("no flow collection needed in week 2 (the paper's hybrid scenario).")

@@ -9,7 +9,9 @@
 //	params := &ictm.Params{F: 0.25, Activity: acts, Pref: prefs}
 //	x, err := params.Evaluate()           // build a TM from the model
 //	res, err := ictm.FitStableFP(series)  // fit the model to data
-//	est, errs, err := ictm.EstimateTMs(rm, truth, prior)
+//
+//	est, err := ictm.NewEstimator(rm, ictm.WithWorkers(0))
+//	r, err := est.EstimateSeries(truth, prior) // r.Estimates, r.Errors
 //
 // Sub-functionality map:
 //
@@ -23,7 +25,8 @@
 //     ISPLike (internal/synth)
 //   - topology + routing: NewWaxman, NewRingChords, NewBackboneStub,
 //     BuildRouting (internal/topology, internal/routing)
-//   - TM estimation: EstimateTMs, priors, IPF (internal/estimation)
+//   - TM estimation: NewEstimator (sessions), priors, PriorState, IPF
+//     (internal/estimation)
 //   - packet traces: GenerateTrace, AnalyzeTrace (internal/packet)
 //   - figure regeneration: RunAllExperiments (internal/experiments)
 package ictm
@@ -204,19 +207,64 @@ type (
 	// FanoutPrior is the choice-model baseline (calibrated per-origin
 	// destination shares).
 	FanoutPrior = estimation.FanoutPrior
-	// EstimationOptions tune the pipeline. Its Workers field bounds the
-	// per-bin (and, in Compare, per-prior) fan-out: 0 = GOMAXPROCS,
-	// 1 = sequential; results are bit-identical for every value.
+	// EstimationOptions tune the deprecated free-function pipeline entry
+	// points. New code configures an Estimator with functional options
+	// (WithWorkers, WithWeighted, ...).
 	EstimationOptions = estimation.Options
 	// EstimationRunStats aggregates per-run IPF diagnostics.
 	EstimationRunStats = estimation.RunStats
+
+	// Estimator is the session-centric estimation entry point: built
+	// once per routing matrix, it owns the tomogravity solver, the
+	// worker bound, the link-noise policy and the IPF settings, and
+	// exposes EstimateBin, EstimateSeries and Compare.
+	Estimator = estimation.Estimator
+	// EstimatorOption configures NewEstimator / Estimator.With.
+	EstimatorOption = estimation.Option
+	// EstimationSeriesResult is one prior's series sweep: estimates,
+	// per-bin errors and aggregated diagnostics.
+	EstimationSeriesResult = estimation.SeriesResult
+	// PriorState is the serializable calibration state of a prior — what
+	// a client registers once with the online estimation service (and
+	// with Estimator.RegisterPrior) instead of re-shipping history.
+	PriorState = estimation.PriorState
 )
+
+// Estimator options.
+var (
+	// WithWorkers bounds the per-bin (and, in Compare, per-prior)
+	// fan-out: 0 = GOMAXPROCS, 1 = sequential; results are bit-identical
+	// for every value.
+	WithWorkers = estimation.WithWorkers
+	// WithWeighted selects the prior-weighted tomogravity projection.
+	WithWeighted = estimation.WithWeighted
+	// WithWeightedDense selects the dense reference weighted projection.
+	WithWeightedDense = estimation.WithWeightedDense
+	// WithDense selects the dense reference unweighted projection.
+	WithDense = estimation.WithDense
+	// WithSkipIPF disables the marginal-fitting step 3.
+	WithSkipIPF = estimation.WithSkipIPF
+	// WithIPF tunes the proportional-fitting tolerance and sweep budget.
+	WithIPF = estimation.WithIPF
+	// WithLinkNoise injects seeded lognormal observation noise.
+	WithLinkNoise = estimation.WithLinkNoise
+)
+
+// NewEstimator builds an estimation session for a routing matrix; see
+// Estimator.
+func NewEstimator(rm *RoutingMatrix, opts ...EstimatorOption) (*Estimator, error) {
+	return estimation.NewEstimator(rm, opts...)
+}
 
 // NewFanoutPrior calibrates a fanout prior from a historical series.
 var NewFanoutPrior = estimation.NewFanoutPrior
 
 // EstimateTMs runs the three-step estimation pipeline over a series.
+//
+// Deprecated: use NewEstimator and Estimator.EstimateSeries, which
+// return the same estimates and errors inside a SeriesResult.
 func EstimateTMs(rm *RoutingMatrix, truth *TMSeries, prior Prior, opts EstimationOptions) (*TMSeries, []float64, error) {
+	//lint:ignore SA1019 deprecated wrapper delegates to its deprecated twin so the Options conversion lives in one place
 	return estimation.Run(rm, truth, prior, opts)
 }
 

@@ -33,12 +33,51 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, errs, err := EstimateTMs(rm, d.Series, &ICOptimalPrior{Params: res.Params}, EstimationOptions{})
+	est, err := NewEstimator(rm, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(errs) != d.Series.Len() {
-		t.Fatalf("errs = %d, want %d", len(errs), d.Series.Len())
+	r, err := est.EstimateSeries(d.Series, &ICOptimalPrior{Params: res.Params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Errors) != d.Series.Len() {
+		t.Fatalf("errs = %d, want %d", len(r.Errors), d.Series.Len())
+	}
+
+	// The deprecated free-function facade must keep returning the same
+	// series while call sites migrate.
+	series, errs, err := EstimateTMs(rm, d.Series, &ICOptimalPrior{Params: res.Params}, EstimationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != len(r.Errors) || series.Len() != r.Estimates.Len() {
+		t.Fatalf("deprecated wrapper diverged: %d/%d bins", len(errs), series.Len())
+	}
+	for i := range errs {
+		if math.Float64bits(errs[i]) != math.Float64bits(r.Errors[i]) {
+			t.Fatalf("bin %d: wrapper error %g != estimator error %g", i, errs[i], r.Errors[i])
+		}
+	}
+
+	// A prior registered through the session handle API estimates
+	// identically to its hand-built counterpart.
+	reg, err := est.RegisterPrior(PriorState{Name: "ic-stable-fP", F: res.Params.F, Pref: res.Params.Pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := est.EstimateSeries(d.Series, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := est.EstimateSeries(d.Series, &StableFPPrior{F: res.Params.F, Pref: res.Params.Pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rr.Errors {
+		if math.Float64bits(rr.Errors[i]) != math.Float64bits(hand.Errors[i]) {
+			t.Fatalf("bin %d: registered prior diverged from hand-built prior", i)
+		}
 	}
 }
 

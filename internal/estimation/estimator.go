@@ -1,0 +1,245 @@
+package estimation
+
+import (
+	"fmt"
+
+	"ictm/internal/parallel"
+	"ictm/internal/routing"
+	"ictm/internal/tm"
+)
+
+// Estimator is the session-centric entry point of the estimation
+// pipeline: build it once from a routing matrix and it owns every
+// resource a sweep needs — the tomogravity Solver, the worker bound,
+// the link-noise policy and the IPF settings — so per-call signatures
+// carry only the data that changes (the prior and the observations).
+// It replaces the former Run/RunWithSolver/RunWithSolverStats/Compare/
+// CompareStats free-function sprawl, which survives as deprecated
+// wrappers over this type.
+//
+// An Estimator is safe for concurrent use: its configuration is fixed
+// at construction (With derives a new value instead of mutating) and
+// the underlying Solver is read-only after NewSolver. Results are
+// bit-identical for every Workers value, exactly as the wrapped
+// pipeline promises.
+type Estimator struct {
+	solver *Solver
+	opts   Options
+}
+
+// Option configures an Estimator at construction (NewEstimator) or
+// derivation (With).
+type Option func(*Options)
+
+// WithWorkers bounds how many bins (EstimateSeries) or priors (Compare)
+// are estimated concurrently: 0 selects GOMAXPROCS, 1 the plain
+// sequential loop. Results are bit-identical for every value.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithWeighted switches the projection step to the prior-weighted
+// tomogravity of Zhang et al. (sparse LSQR fast path).
+func WithWeighted(on bool) Option { return func(o *Options) { o.Weighted = on } }
+
+// WithWeightedDense selects the legacy dense per-bin SVD implementation
+// of the weighted step (cross-check reference); it implies the weighted
+// projection.
+func WithWeightedDense(on bool) Option {
+	return func(o *Options) {
+		o.WeightedDense = on
+		if on {
+			o.Weighted = true
+		}
+	}
+}
+
+// WithDense selects the dense SVD reference implementation of the
+// unweighted step (cross-check; pays the one-time factorization the
+// default path avoids). Ignored when the weighted projection is on.
+func WithDense(on bool) Option { return func(o *Options) { o.Dense = on } }
+
+// WithSkipIPF disables the marginal-fitting step 3 (ablation).
+func WithSkipIPF(on bool) Option { return func(o *Options) { o.SkipIPF = on } }
+
+// WithIPF tunes the proportional-fitting tolerance and sweep budget;
+// zero values select the defaults (1e-9, 200).
+func WithIPF(tol float64, maxIter int) Option {
+	return func(o *Options) {
+		o.IPFTol = tol
+		o.IPFMaxIter = maxIter
+	}
+}
+
+// WithLinkNoise injects multiplicative lognormal noise (sigma) into the
+// observed link loads of EstimateSeries/Compare, seeded so comparisons
+// across priors see identical noise. Zero sigma disables it.
+func WithLinkNoise(sigma float64, seed uint64) Option {
+	return func(o *Options) {
+		o.LinkNoiseSigma = sigma
+		o.NoiseSeed = seed
+	}
+}
+
+// withOptions imports a legacy flat Options bag wholesale; it backs the
+// deprecated free-function wrappers.
+func withOptions(legacy Options) Option { return func(o *Options) { *o = legacy } }
+
+// NewEstimator builds an estimation session for a routing matrix: it
+// constructs (and owns) the shared tomogravity Solver and fixes the
+// pipeline configuration from the options.
+func NewEstimator(rm *routing.Matrix, opts ...Option) (*Estimator, error) {
+	solver, err := NewSolver(rm)
+	if err != nil {
+		return nil, err
+	}
+	return newEstimatorWithSolver(solver, opts...), nil
+}
+
+// newEstimatorWithSolver wraps an existing (cached) solver; it backs the
+// deprecated with-solver wrappers and Engine-style solver pools.
+func newEstimatorWithSolver(solver *Solver, opts ...Option) *Estimator {
+	e := &Estimator{solver: solver}
+	for _, o := range opts {
+		o(&e.opts)
+	}
+	return e
+}
+
+// With returns a derived estimator sharing this one's Solver with the
+// additional options applied — the cheap way to vary per-session
+// settings (weighted projection, SkipIPF, workers) over one pooled
+// routing factorization. The receiver is not modified.
+func (e *Estimator) With(opts ...Option) *Estimator {
+	d := &Estimator{solver: e.solver, opts: e.opts}
+	for _, o := range opts {
+		o(&d.opts)
+	}
+	return d
+}
+
+// N returns the node count of the session's routing substrate
+// (estimates are n×n).
+func (e *Estimator) N() int { return e.solver.rm.N }
+
+// Rows returns the length of one observation vector y (L internal links
+// plus 2n marginal rows).
+func (e *Estimator) Rows() int { return e.solver.rm.Rows() }
+
+// Solver exposes the session's shared tomogravity solver for callers
+// that drive the projection primitives directly (cross-check sweeps,
+// FactorDense pre-payment).
+func (e *Estimator) Solver() *Solver { return e.solver }
+
+// RegisterPrior validates serialized calibration state against the
+// session's network size and returns the instantiated prior — the
+// register-once handle the Estimate*/Compare methods accept. A
+// malformed state fails here, not inside the first estimated bin.
+func (e *Estimator) RegisterPrior(state PriorState) (Prior, error) {
+	return state.Prior(e.N())
+}
+
+// EstimateBin runs the full three-step pipeline for one bin: prior →
+// tomogravity projection → clamp + IPF toward the measured marginals.
+// IPF non-convergence is not an error: the estimate is returned
+// together with a BinDiag recording the shortfall.
+func (e *Estimator) EstimateBin(prior Prior, t int, y []float64) (*tm.TrafficMatrix, BinDiag, error) {
+	return estimateBin(e.solver, prior, t, y, e.opts)
+}
+
+// SeriesResult is the outcome of estimating a whole series against one
+// prior: the estimated series, the per-bin RelL2 errors against the
+// truth, and the aggregated run diagnostics.
+type SeriesResult struct {
+	// Estimates holds one estimated matrix per bin of the truth.
+	Estimates *tm.Series
+	// Errors is the per-bin RelL2 against the true series.
+	Errors []float64
+	// Stats aggregates the per-bin diagnostics (IPF sweeps and
+	// non-convergences, projection stalls, dense fallbacks).
+	Stats RunStats
+}
+
+// EstimateSeries estimates every bin of the true series and reports
+// per-bin errors and run diagnostics. The observation vector for each
+// bin is Y = R·x(t), optionally perturbed by the session's link-noise
+// policy. Bins fan out under the session's worker bound; the solver is
+// shared read-only and every bin writes only its own result slot, so
+// results are bit-identical to the sequential path.
+func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult, error) {
+	rm := e.solver.rm
+	if truth.N() != rm.N {
+		return nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
+	}
+	noiseRoot := e.opts.noiseStream()
+	results := make([]BinResult, truth.Len())
+	err := parallel.ForEach(e.opts.Workers, truth.Len(), func(t int) error {
+		y, err := rm.LinkLoads(truth.At(t))
+		if err != nil {
+			return err
+		}
+		if noiseRoot != nil {
+			noise := noiseRoot.DeriveIndex(uint64(t))
+			for i := range y {
+				y[i] *= noise.LogNormal(0, e.opts.LinkNoiseSigma)
+			}
+		}
+		est, diag, err := e.EstimateBin(prior, t, y)
+		if err != nil {
+			return err
+		}
+		relErr, err := tm.RelL2(truth.At(t), est)
+		if err != nil {
+			return fmt.Errorf("estimation: bin %d: %w", t, err)
+		}
+		results[t] = BinResult{Estimate: est, RelL2: relErr, Diag: diag}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SeriesResult{
+		Estimates: tm.NewSeries(truth.N(), truth.BinSeconds),
+		Errors:    make([]float64, len(results)),
+		Stats:     RunStats{Bins: len(results)},
+	}
+	for t, r := range results {
+		if err := out.Estimates.Append(r.Estimate); err != nil {
+			return nil, err
+		}
+		out.Errors[t] = r.RelL2
+		out.Stats.IPFSweepsTotal += r.Diag.IPFSweeps
+		if !r.Diag.IPFConverged {
+			out.Stats.IPFNonConverged++
+		}
+		if r.Diag.WeightedDenseFallback {
+			out.Stats.WeightedDenseFallbacks++
+		}
+		if r.Diag.ProjectStalled {
+			out.Stats.ProjectStalls++
+		}
+	}
+	return out, nil
+}
+
+// Compare sweeps several priors over the same truth, sharing the
+// session's solver, and returns per-prior results keyed by prior name.
+// Priors fan out under the session's worker bound (each inner series
+// also parallelizes over bins); per-prior results match the sequential
+// path exactly because the link-noise stream is keyed by bin, not by
+// consumption order.
+func (e *Estimator) Compare(truth *tm.Series, priors []Prior) (map[string]*SeriesResult, error) {
+	perPrior, err := parallel.Map(e.opts.Workers, len(priors), func(i int) (*SeriesResult, error) {
+		r, err := e.EstimateSeries(truth, priors[i])
+		if err != nil {
+			return nil, fmt.Errorf("estimation: prior %q: %w", priors[i].Name(), err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*SeriesResult, len(priors))
+	for i, p := range priors {
+		out[p.Name()] = perPrior[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package estimation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/routing"
+	"ictm/internal/synth"
+	"ictm/internal/tm"
+	"ictm/internal/topology"
+)
+
+// estimatorFixture builds a small scenario, its routing matrix and one
+// week of truth for session-API tests.
+func estimatorFixture(t *testing.T) (*routing.Matrix, *tm.Series) {
+	t.Helper()
+	sc := synth.GeantLike()
+	sc.N = 10
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Waxman(10, 0.6, 0.4, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm, d.Series
+}
+
+// TestEstimatorMatchesDeprecatedWrappersBitwise: the session API and the
+// deprecated free functions are two faces of one pipeline — estimates,
+// errors and diagnostics must agree bit for bit, across the option
+// space the wrappers translate.
+func TestEstimatorMatchesDeprecatedWrappersBitwise(t *testing.T) {
+	rm, truth := estimatorFixture(t)
+	cases := []struct {
+		name string
+		opts Options
+		fns  []Option
+	}{
+		{"default", Options{}, nil},
+		{"weighted", Options{Weighted: true}, []Option{WithWeighted(true)}},
+		{"skip-ipf", Options{SkipIPF: true}, []Option{WithSkipIPF(true)}},
+		{"noise", Options{LinkNoiseSigma: 0.1, NoiseSeed: 7}, []Option{WithLinkNoise(0.1, 7)}},
+		{"workers", Options{Workers: 8}, []Option{WithWorkers(8)}},
+		{"ipf-budget", Options{IPFTol: 1e-6, IPFMaxIter: 50}, []Option{WithIPF(1e-6, 50)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			est, err := NewEstimator(rm, tc.fns...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := est.EstimateSeries(truth, GravityPrior{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			series, errs, stats, err := RunWithSolverStats(est.Solver(), truth, GravityPrior{}, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *stats != r.Stats {
+				t.Fatalf("stats diverged: %+v vs %+v", *stats, r.Stats)
+			}
+			for i := range errs {
+				if math.Float64bits(errs[i]) != math.Float64bits(r.Errors[i]) {
+					t.Fatalf("bin %d error diverged", i)
+				}
+				a, b := series.At(i).Vec(), r.Estimates.At(i).Vec()
+				for k := range a {
+					if math.Float64bits(a[k]) != math.Float64bits(b[k]) {
+						t.Fatalf("bin %d flow %d diverged", i, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEstimatorCompareMatchesCompareStats: the Compare method and the
+// deprecated CompareStats agree per prior.
+func TestEstimatorCompareMatchesCompareStats(t *testing.T) {
+	rm, truth := estimatorFixture(t)
+	priors := []Prior{GravityPrior{}, &StableFPrior{F: 0.25}}
+
+	est, err := NewEstimator(rm, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Compare(truth, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrs, wantStats, err := CompareStats(rm, truth, priors, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range priors {
+		r := got[p.Name()]
+		if r == nil {
+			t.Fatalf("prior %q missing from Compare result", p.Name())
+		}
+		if *wantStats[p.Name()] != r.Stats {
+			t.Fatalf("prior %q stats diverged", p.Name())
+		}
+		for i := range r.Errors {
+			if math.Float64bits(r.Errors[i]) != math.Float64bits(wantErrs[p.Name()][i]) {
+				t.Fatalf("prior %q bin %d diverged", p.Name(), i)
+			}
+		}
+	}
+}
+
+// TestEstimatorWithDerivesWithoutMutating: With returns a derived
+// session over the same solver and leaves the receiver untouched, and
+// both sessions keep the determinism contract.
+func TestEstimatorWithDerivesWithoutMutating(t *testing.T) {
+	rm, truth := estimatorFixture(t)
+	base, err := NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := base.With(WithSkipIPF(true), WithWorkers(8))
+	if derived.Solver() != base.Solver() {
+		t.Fatal("With must share the solver")
+	}
+	if base.opts.SkipIPF || base.opts.Workers != 0 {
+		t.Fatalf("With mutated the receiver: %+v", base.opts)
+	}
+
+	rBase, err := base.EstimateSeries(truth, GravityPrior{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDerived, err := derived.EstimateSeries(truth, GravityPrior{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBase.Stats.IPFSweepsTotal == 0 {
+		t.Error("base session must run IPF")
+	}
+	if rDerived.Stats.IPFSweepsTotal != 0 {
+		t.Error("derived SkipIPF session ran IPF")
+	}
+}
+
+// TestEstimatorRegisterPrior: registration validates against the
+// session's n and the handle estimates identically to the hand-built
+// prior; malformed state fails with ErrInput at registration.
+func TestEstimatorRegisterPrior(t *testing.T) {
+	rm, truth := estimatorFixture(t)
+	est, err := NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := est.RegisterPrior(PriorState{Name: "ic-stable-f", F: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rReg, err := est.EstimateSeries(truth, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHand, err := est.EstimateSeries(truth, &StableFPrior{F: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rReg.Errors {
+		if math.Float64bits(rReg.Errors[i]) != math.Float64bits(rHand.Errors[i]) {
+			t.Fatalf("bin %d: registered prior diverged from hand-built prior", i)
+		}
+	}
+	if _, err := est.RegisterPrior(PriorState{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1}}); !errors.Is(err, ErrInput) {
+		t.Errorf("n-mismatched registration: %v", err)
+	}
+}
+
+// TestEstimatorRejectsMismatchedSeries: a series over the wrong node
+// count fails with ErrInput before any bin is estimated.
+func TestEstimatorRejectsMismatchedSeries(t *testing.T) {
+	rm, _ := estimatorFixture(t)
+	est, err := NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := tm.NewSeries(rm.N+1, 300)
+	if err := wrong.Append(tm.New(rm.N + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimateSeries(wrong, GravityPrior{}); !errors.Is(err, ErrInput) {
+		t.Errorf("mismatched series: %v", err)
+	}
+	if _, err := NewEstimator(nil); !errors.Is(err, ErrInput) {
+		t.Errorf("nil routing matrix: %v", err)
+	}
+}

@@ -4,13 +4,17 @@ import (
 	"errors"
 	"fmt"
 
-	"ictm/internal/parallel"
 	"ictm/internal/rng"
 	"ictm/internal/routing"
 	"ictm/internal/tm"
 )
 
 // Options tune the estimation pipeline. The zero value is ready to use.
+//
+// Options is the flat configuration bag of the deprecated free-function
+// entry points (Run, Compare and friends). New code should configure an
+// Estimator with functional options (WithWorkers, WithWeighted, ...)
+// instead; the fields below keep their meaning there.
 type Options struct {
 	// SkipIPF disables step 3 (useful for ablation).
 	SkipIPF bool
@@ -120,11 +124,20 @@ type RunStats struct {
 	ProjectStalls int
 }
 
-// EstimateBin runs the full three-step pipeline for one bin: prior →
+// EstimateBin runs the full three-step pipeline for one bin.
+//
+// Deprecated: build an Estimator (NewEstimator or With over a pooled
+// session) and call its EstimateBin method instead.
+func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
+	return estimateBin(s, prior, t, y, opts)
+}
+
+// estimateBin runs the full three-step pipeline for one bin: prior →
 // tomogravity projection → clamp + IPF toward the measured marginals.
 // IPF non-convergence is not an error: the estimate is returned together
-// with a BinDiag recording the shortfall.
-func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
+// with a BinDiag recording the shortfall. It is the shared core of
+// Estimator.EstimateBin and the deprecated free function.
+func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
 	diag := BinDiag{IPFConverged: true}
 	_, ing, eg, err := s.rm.SplitLoads(y)
 	if err != nil {
@@ -166,124 +179,76 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 }
 
 // Run estimates every bin of the true series and reports per-bin errors.
-// The observation vector for each bin is the noiseless link-load vector
-// Y = R·x(t); measurement noise, when wanted, should be injected into
-// the series beforehand so that every prior sees the same observables.
+//
+// Deprecated: use NewEstimator(rm, ...) and EstimateSeries, which return
+// the same estimates and errors inside a SeriesResult.
 func Run(rm *routing.Matrix, truth *tm.Series, prior Prior, opts Options) (*tm.Series, []float64, error) {
-	if truth.N() != rm.N {
-		return nil, nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
-	}
-	solver, err := NewSolver(rm)
+	est, err := NewEstimator(rm, withOptions(opts))
 	if err != nil {
 		return nil, nil, err
 	}
-	return RunWithSolver(solver, truth, prior, opts)
+	r, err := est.EstimateSeries(truth, prior)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Estimates, r.Errors, nil
 }
 
-// RunWithSolver is Run with a caller-provided (cached) solver, so several
-// priors can share one routing factorization.
+// RunWithSolver is Run with a caller-provided (cached) solver.
+//
+// Deprecated: pool an Estimator instead of a bare Solver and call
+// EstimateSeries (With derives per-call settings over the shared
+// solver).
 func RunWithSolver(solver *Solver, truth *tm.Series, prior Prior, opts Options) (*tm.Series, []float64, error) {
 	out, errs, _, err := RunWithSolverStats(solver, truth, prior, opts)
 	return out, errs, err
 }
 
 // RunWithSolverStats is RunWithSolver, additionally reporting aggregate
-// run diagnostics (IPF sweep counts and non-convergences). Bins are
-// estimated concurrently under opts.Workers; the solver factorization is
-// shared read-only and every bin works on its own scratch, so results
-// are identical to the sequential path.
+// run diagnostics.
+//
+// Deprecated: Estimator.EstimateSeries reports the same diagnostics in
+// SeriesResult.Stats.
 func RunWithSolverStats(solver *Solver, truth *tm.Series, prior Prior, opts Options) (*tm.Series, []float64, *RunStats, error) {
-	rm := solver.rm
-	if truth.N() != rm.N {
-		return nil, nil, nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
-	}
-	noiseRoot := opts.noiseStream()
-	results := make([]BinResult, truth.Len())
-	err := parallel.ForEach(opts.Workers, truth.Len(), func(t int) error {
-		y, err := rm.LinkLoads(truth.At(t))
-		if err != nil {
-			return err
-		}
-		if noiseRoot != nil {
-			noise := noiseRoot.DeriveIndex(uint64(t))
-			for i := range y {
-				y[i] *= noise.LogNormal(0, opts.LinkNoiseSigma)
-			}
-		}
-		est, diag, err := EstimateBin(solver, prior, t, y, opts)
-		if err != nil {
-			return err
-		}
-		e, err := tm.RelL2(truth.At(t), est)
-		if err != nil {
-			return fmt.Errorf("estimation: bin %d: %w", t, err)
-		}
-		results[t] = BinResult{Estimate: est, RelL2: e, Diag: diag}
-		return nil
-	})
+	r, err := newEstimatorWithSolver(solver, withOptions(opts)).EstimateSeries(truth, prior)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out := tm.NewSeries(truth.N(), truth.BinSeconds)
-	errsOut := make([]float64, len(results))
-	stats := &RunStats{Bins: len(results)}
-	for t, r := range results {
-		if err := out.Append(r.Estimate); err != nil {
-			return nil, nil, nil, err
-		}
-		errsOut[t] = r.RelL2
-		stats.IPFSweepsTotal += r.Diag.IPFSweeps
-		if !r.Diag.IPFConverged {
-			stats.IPFNonConverged++
-		}
-		if r.Diag.WeightedDenseFallback {
-			stats.WeightedDenseFallbacks++
-		}
-		if r.Diag.ProjectStalled {
-			stats.ProjectStalls++
-		}
-	}
-	return out, errsOut, stats, nil
+	stats := r.Stats
+	return r.Estimates, r.Errors, &stats, nil
 }
 
 // Compare runs several priors over the same truth and routing, sharing
-// the solver, and returns per-prior error series keyed by prior name.
-// Priors are swept concurrently under opts.Workers (each inner run also
-// parallelizes over bins); per-prior results match the sequential path
-// exactly because the link-noise stream is keyed by bin, not by
-// consumption order.
+// one solver, and returns per-prior error series keyed by prior name.
+//
+// Deprecated: use NewEstimator(rm, ...) and the Compare method, whose
+// SeriesResult carries the error series and diagnostics together.
 func Compare(rm *routing.Matrix, truth *tm.Series, priors []Prior, opts Options) (map[string][]float64, error) {
 	errs, _, err := CompareStats(rm, truth, priors, opts)
 	return errs, err
 }
 
 // CompareStats is Compare, additionally reporting each prior's run
-// diagnostics keyed by prior name (so CLIs can surface IPF
-// non-convergence counts instead of dropping them).
+// diagnostics keyed by prior name.
+//
+// Deprecated: Estimator.Compare reports the same diagnostics in each
+// SeriesResult.Stats.
 func CompareStats(rm *routing.Matrix, truth *tm.Series, priors []Prior, opts Options) (map[string][]float64, map[string]*RunStats, error) {
-	solver, err := NewSolver(rm)
+	est, err := NewEstimator(rm, withOptions(opts))
 	if err != nil {
 		return nil, nil, err
 	}
-	type priorRun struct {
-		errs  []float64
-		stats *RunStats
-	}
-	perPrior, err := parallel.Map(opts.Workers, len(priors), func(i int) (priorRun, error) {
-		_, errs, stats, err := RunWithSolverStats(solver, truth, priors[i], opts)
-		if err != nil {
-			return priorRun{}, fmt.Errorf("estimation: prior %q: %w", priors[i].Name(), err)
-		}
-		return priorRun{errs: errs, stats: stats}, nil
-	})
+	results, err := est.Compare(truth, priors)
 	if err != nil {
 		return nil, nil, err
 	}
 	errsOut := make(map[string][]float64, len(priors))
 	statsOut := make(map[string]*RunStats, len(priors))
-	for i, p := range priors {
-		errsOut[p.Name()] = perPrior[i].errs
-		statsOut[p.Name()] = perPrior[i].stats
+	for _, p := range priors {
+		r := results[p.Name()]
+		stats := r.Stats
+		errsOut[p.Name()] = r.Errors
+		statsOut[p.Name()] = &stats
 	}
 	return errsOut, statsOut, nil
 }

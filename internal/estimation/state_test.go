@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -62,34 +63,63 @@ func TestPriorStateRoundTrip(t *testing.T) {
 	}
 }
 
-// TestPriorStateRejectsMalformed: malformed client payloads fail at
-// construction with ErrInput, not inside the first estimated bin.
+// TestPriorStateRejectsMalformed: every malformed client payload fails
+// at construction (registration time) with ErrInput and a message
+// naming the offending field, not inside the first estimated bin. The
+// table walks the error space per family: bad kind, non-finite or
+// out-of-range f, missing or mis-sized side information, and network
+// size mismatches.
 func TestPriorStateRejectsMalformed(t *testing.T) {
-	cases := []PriorState{
-		{},                          // no name
-		{Name: "ic-optimal"},        // not serializable
-		{Name: "bogus"},             // unknown
-		{Name: "ic-stable-f"},       // f missing (0)
-		{Name: "ic-stable-f", F: 1}, // f out of range
-		{Name: "ic-stable-f", F: math.NaN()},
-		{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2}},          // wrong length
-		{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2, -1, 3}},   // negative
-		{Name: "fanout", Fanout: [][]float64{{1}}},                     // wrong rows
-		{Name: "fanout", Fanout: [][]float64{{1, 0}, {0}}},             // ragged (n=2 below)
-		{Name: "fanout", Fanout: [][]float64{{1, 0}, {0, math.NaN()}}}, // NaN
+	cases := []struct {
+		name    string
+		state   PriorState
+		n       int
+		wantMsg string // substring the error must carry for operability
+	}{
+		// Bad kinds.
+		{"missing name", PriorState{}, 4, "without a name"},
+		{"unknown name", PriorState{Name: "bogus"}, 4, `unknown prior "bogus"`},
+		{"ic-optimal not serializable", PriorState{Name: "ic-optimal"}, 4, "unknown prior"},
+
+		// Forward-ratio range and finiteness (stable-f and stable-fP
+		// share checkF).
+		{"f missing", PriorState{Name: "ic-stable-f"}, 4, "outside (0,1)"},
+		{"f negative", PriorState{Name: "ic-stable-f", F: -0.2}, 4, "outside (0,1)"},
+		{"f at one", PriorState{Name: "ic-stable-f", F: 1}, 4, "outside (0,1)"},
+		{"f NaN", PriorState{Name: "ic-stable-f", F: math.NaN()}, 4, "outside (0,1)"},
+		{"f +Inf", PriorState{Name: "ic-stable-f", F: math.Inf(1)}, 4, "outside (0,1)"},
+		{"f -Inf", PriorState{Name: "ic-stable-f", F: math.Inf(-1)}, 4, "outside (0,1)"},
+		{"fP f NaN", PriorState{Name: "ic-stable-fP", F: math.NaN(), Pref: []float64{1, 1, 1, 1}}, 4, "outside (0,1)"},
+
+		// Preference-vector shape and content.
+		{"pref missing", PriorState{Name: "ic-stable-fP", F: 0.3}, 4, "pref vector of 0"},
+		{"pref n mismatch", PriorState{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2}}, 4, "pref vector of 2 for n=4"},
+		{"pref negative", PriorState{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2, -1, 3}}, 4, "pref[2]"},
+		{"pref NaN", PriorState{Name: "ic-stable-fP", F: 0.3, Pref: []float64{1, 2, math.NaN(), 3}}, 4, "pref[2]"},
+
+		// Fanout history shape and content.
+		{"fanout missing", PriorState{Name: "fanout"}, 2, "fanout of 0 rows"},
+		{"fanout row-count mismatch", PriorState{Name: "fanout", Fanout: [][]float64{{1}}}, 2, "fanout of 1 rows for n=2"},
+		{"fanout ragged row", PriorState{Name: "fanout", Fanout: [][]float64{{1, 0}, {0}}}, 2, "row 1 has 1 columns"},
+		{"fanout NaN", PriorState{Name: "fanout", Fanout: [][]float64{{1, 0}, {0, math.NaN()}}}, 2, "fanout[1][1]"},
+		{"fanout negative", PriorState{Name: "fanout", Fanout: [][]float64{{1, 0}, {0, -1}}}, 2, "fanout[1][1]"},
+
+		// Network size.
+		{"n zero", PriorState{Name: "gravity"}, 0, "n=0"},
+		{"n negative", PriorState{Name: "gravity"}, -3, "n=-3"},
 	}
-	for i, ps := range cases {
-		n := 4
-		if ps.Name == "fanout" {
-			n = 2
-		}
-		if _, err := ps.Prior(n); err == nil {
-			t.Errorf("case %d (%+v): want error", i, ps)
-		} else if !errors.Is(err, ErrInput) {
-			t.Errorf("case %d: error %v does not wrap ErrInput", i, err)
-		}
-	}
-	if _, err := (PriorState{Name: "gravity"}).Prior(0); err == nil {
-		t.Error("n=0 must fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.state.Prior(tc.n)
+			if err == nil {
+				t.Fatalf("(%+v).Prior(%d): want error", tc.state, tc.n)
+			}
+			if !errors.Is(err, ErrInput) {
+				t.Errorf("error %v does not wrap ErrInput", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not name the offence %q", err, tc.wantMsg)
+			}
+		})
 	}
 }

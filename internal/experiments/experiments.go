@@ -78,12 +78,12 @@ type datasetT = synth.Dataset
 // All cached artifacts are deterministic functions of the scenario
 // seeds, so computation order never affects results.
 type World struct {
-	cfg      Config
-	datasets parallel.Memo[*synth.Dataset]
-	weekFits parallel.Memo[*fit.Result]
-	routes   parallel.Memo[*routing.Matrix]
-	solvers  parallel.Memo[*estimation.Solver]
-	gravErrs parallel.Memo[[]float64]
+	cfg        Config
+	datasets   parallel.Memo[*synth.Dataset]
+	weekFits   parallel.Memo[*fit.Result]
+	routes     parallel.Memo[*routing.Matrix]
+	estimators parallel.Memo[*estimation.Estimator]
+	gravErrs   parallel.Memo[[]float64]
 }
 
 // NewWorld returns an empty cache for the configuration.
@@ -91,18 +91,12 @@ func NewWorld(cfg Config) *World {
 	return &World{cfg: cfg.Default()}
 }
 
-// estOptions returns the estimation options every figure uses, with the
-// world's worker bound forwarded to the per-bin fan-out.
-func (w *World) estOptions() estimation.Options {
-	return estimation.Options{Workers: w.cfg.Workers}
-}
-
 // GravityEstimationErrors returns cached per-bin errors of the
 // gravity-prior estimation pipeline for one week of a dataset.
 func (w *World) GravityEstimationErrors(d *synth.Dataset, week int) ([]float64, error) {
 	key := fmt.Sprintf("%s/w%d", d.Scenario.Name, week)
 	return w.gravErrs.Get(key, func() ([]float64, error) {
-		solver, err := w.Solver(d)
+		est, err := w.Estimator(d)
 		if err != nil {
 			return nil, err
 		}
@@ -110,11 +104,11 @@ func (w *World) GravityEstimationErrors(d *synth.Dataset, week int) ([]float64, 
 		if err != nil {
 			return nil, err
 		}
-		_, errs, err := estimation.RunWithSolver(solver, truth, estimation.GravityPrior{}, w.estOptions())
+		r, err := est.EstimateSeries(truth, estimation.GravityPrior{})
 		if err != nil {
 			return nil, err
 		}
-		return errs, nil
+		return r.Errors, nil
 	})
 }
 
@@ -179,15 +173,16 @@ func (w *World) Routing(d *synth.Dataset) (*routing.Matrix, error) {
 	})
 }
 
-// Solver returns a cached tomogravity solver (routing-matrix SVD) for a
-// scenario, shared by every estimation figure.
-func (w *World) Solver(d *synth.Dataset) (*estimation.Solver, error) {
-	return w.solvers.Get(d.Scenario.Name, func() (*estimation.Solver, error) {
+// Estimator returns a cached estimation session for a scenario, shared
+// by every estimation figure: one tomogravity solver per topology, with
+// the world's worker bound forwarded to the per-bin fan-out.
+func (w *World) Estimator(d *synth.Dataset) (*estimation.Estimator, error) {
+	return w.estimators.Get(d.Scenario.Name, func() (*estimation.Estimator, error) {
 		rm, err := w.Routing(d)
 		if err != nil {
 			return nil, err
 		}
-		return estimation.NewSolver(rm)
+		return estimation.NewEstimator(rm, estimation.WithWorkers(w.cfg.Workers))
 	})
 }
 

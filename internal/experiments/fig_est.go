@@ -63,7 +63,7 @@ func Fig10(w *World) (*Result, error) {
 // estimate targetWeek with the gravity prior and the given IC prior,
 // returning per-bin improvement.
 func estFigure(w *World, d *synth.Dataset, targetWeek int, prior estimation.Prior) ([]float64, error) {
-	solver, err := w.Solver(d)
+	est, err := w.Estimator(d)
 	if err != nil {
 		return nil, err
 	}
@@ -75,11 +75,11 @@ func estFigure(w *World, d *synth.Dataset, targetWeek int, prior estimation.Prio
 	if err != nil {
 		return nil, err
 	}
-	_, icErrs, err := estimation.RunWithSolver(solver, truth, prior, w.estOptions())
+	r, err := est.EstimateSeries(truth, prior)
 	if err != nil {
 		return nil, err
 	}
-	return tm.ImprovementSeries(gravErrs, icErrs)
+	return tm.ImprovementSeries(gravErrs, r.Errors)
 }
 
 // Fig11 reproduces Figure 11: TM estimation with the IC prior built from

@@ -6,17 +6,23 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
+	"ictm/internal/estimation"
 	"ictm/internal/synth"
 	"ictm/internal/topology"
 )
 
-// Request is the wire form of one estimation call. The topology may be
-// given explicitly (a topology.Spec) or by evaluation-scenario name —
+// Request is the wire form of one v1 estimation call. The topology may
+// be given explicitly (a topology.Spec) or by evaluation-scenario name —
 // "geant", "totem" or "isp" with N — which resolves to the exact graph
 // cmd/icest builds for that scenario. With neither, the server's
 // default scenario applies.
+//
+// The v1 protocol re-sends (and re-validates) the topology and prior
+// state on every call; the v2 resource API registers both once and
+// references them by handle (see EstimateRequest).
 type Request struct {
 	// Scenario names a preset topology ("geant", "totem", "isp").
 	Scenario string `json:"scenario,omitempty"`
@@ -34,10 +40,40 @@ type Request struct {
 	Bins []Bin `json:"bins,omitempty"`
 }
 
-// Response is the single-shot JSON reply: per-bin estimates in request
-// order.
+// EstimateRequest is the wire form of one v2 estimation call: the
+// topology and prior are referenced by registered handle (SessionSpec),
+// never shipped inline. NDJSON streams send the header without bins,
+// then one Bin per line.
+type EstimateRequest struct {
+	SessionSpec
+	Bins []Bin `json:"bins,omitempty"`
+}
+
+// Response is the single-shot JSON reply (v1 and v2): per-bin estimates
+// in request order.
 type Response struct {
 	Results []Estimate `json:"results"`
+}
+
+// TopologyRegistration is the reply of PUT /v2/topologies/{key}.
+type TopologyRegistration struct {
+	Key     string `json:"key"`
+	N       int    `json:"n"`
+	Created bool   `json:"created"`
+}
+
+// PriorRegistration is the reply of POST /v2/topologies/{key}/priors:
+// the server-issued handle later estimation calls reference.
+type PriorRegistration struct {
+	Handle   string `json:"handle"`
+	Topology string `json:"topology"`
+	Name     string `json:"name"`
+	Created  bool   `json:"created"`
+}
+
+// TopologyList is the reply of GET /v2/topologies.
+type TopologyList struct {
+	Topologies []TopologyInfo `json:"topologies"`
 }
 
 // NDJSONContentType marks a streamed request/response body: one JSON
@@ -61,9 +97,9 @@ func ScenarioSpec(name string, n int) (topology.Spec, error) {
 	}
 }
 
-// streamSpec resolves a request header to the engine-level stream
-// context, applying the server default topology when the request names
-// none.
+// streamSpec resolves a v1 request header to the engine-level inline
+// stream context, applying the server default topology when the request
+// names none.
 func (h *handler) streamSpec(req Request) (StreamSpec, error) {
 	spec := StreamSpec{Weighted: req.Weighted, SkipIPF: req.SkipIPF}
 	switch {
@@ -91,7 +127,29 @@ type handler struct {
 	defaultTopology topology.Spec
 }
 
-// NewHandler returns the service's HTTP API over the engine:
+// NewHandler returns the service's HTTP API over the engine.
+//
+// v2 — the register-once resource API (handles end to end):
+//
+//	PUT  /v2/topologies/{key}        — register a topology.Spec under a
+//	                                   client key; 201 created, 200
+//	                                   idempotent repeat, 409 conflict.
+//	GET  /v2/topologies              — list registered topologies.
+//	POST /v2/topologies/{key}/priors — register estimation.PriorState,
+//	                                   validated against the topology;
+//	                                   returns the prior handle.
+//	POST /v2/estimate                — application/json: one
+//	                                   EstimateRequest (handles + bins),
+//	                                   answered by a Response;
+//	                                   application/x-ndjson: a header
+//	                                   line (EstimateRequest without
+//	                                   bins) followed by one Bin per
+//	                                   line, answered by one Estimate
+//	                                   per line in submission order.
+//	                                   Unknown handles are 404s.
+//
+// v1 — the inline protocol, byte-compatible with PR 4, served as a shim
+// over the same engine and solver pool:
 //
 //	POST /v1/estimate  — application/json: one Request with bins,
 //	                     answered by a Response;
@@ -102,14 +160,18 @@ type handler struct {
 //	GET  /v1/stats     — service-lifetime telemetry (Stats).
 //	GET  /healthz      — liveness.
 //
-// defaultTopology applies to requests that name neither a topology nor
-// a scenario.
+// defaultTopology applies to v1 requests that name neither a topology
+// nor a scenario.
 func NewHandler(e *Engine, defaultTopology topology.Spec) http.Handler {
 	h := &handler{engine: e, defaultTopology: defaultTopology}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/v1/stats", h.stats)
 	mux.HandleFunc("/v1/estimate", h.estimate)
+	mux.HandleFunc("PUT /v2/topologies/{key}", h.registerTopology)
+	mux.HandleFunc("GET /v2/topologies", h.listTopologies)
+	mux.HandleFunc("POST /v2/topologies/{key}/priors", h.registerPrior)
+	mux.HandleFunc("POST /v2/estimate", h.estimateV2)
 	return mux
 }
 
@@ -127,21 +189,87 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(h.engine.Stats()); err != nil {
-		// Headers are gone; nothing better to do than drop the conn.
-		return
-	}
+	writeJSON(w, http.StatusOK, h.engine.Stats())
 }
 
-// httpError maps engine errors to status codes: invalid stream specs
-// are the client's fault.
+// httpError maps engine errors onto typed statuses: 400 for malformed
+// payloads and specs (ErrStream), 404 for unknown or mismatched handles
+// (ErrNotFound), 409 for conflicting registrations (ErrConflict), 503
+// while draining (ErrDraining), 500 otherwise.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
-	if errors.Is(err, ErrStream) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		code = http.StatusConflict
+	case errors.Is(err, ErrStream):
 		code = http.StatusBadRequest
 	}
 	http.Error(w, err.Error(), code)
+}
+
+// writeJSON emits one JSON reply with a trailing newline (matching the
+// v1 byte format). Marshal failures become 500s before the status is
+// committed.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, fmt.Errorf("encode response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n')) //nolint:errcheck // client gone; nothing to do
+}
+
+// registerTopology implements PUT /v2/topologies/{key}.
+func (h *handler) registerTopology(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var spec topology.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, fmt.Errorf("%w: decode topology spec: %v", ErrStream, err))
+		return
+	}
+	n, created, err := h.engine.RegisterTopology(key, spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, TopologyRegistration{Key: key, N: n, Created: created})
+}
+
+// listTopologies implements GET /v2/topologies.
+func (h *handler) listTopologies(w http.ResponseWriter, r *http.Request) {
+	topos := h.engine.Topologies()
+	sort.Slice(topos, func(i, j int) bool { return topos[i].Key < topos[j].Key })
+	writeJSON(w, http.StatusOK, TopologyList{Topologies: topos})
+}
+
+// registerPrior implements POST /v2/topologies/{key}/priors.
+func (h *handler) registerPrior(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var state estimation.PriorState
+	if err := json.NewDecoder(r.Body).Decode(&state); err != nil {
+		httpError(w, fmt.Errorf("%w: decode prior state: %v", ErrStream, err))
+		return
+	}
+	handle, created, err := h.engine.RegisterPrior(key, state)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, PriorRegistration{Handle: handle, Topology: key, Name: state.Name, Created: created})
 }
 
 func (h *handler) estimate(w http.ResponseWriter, r *http.Request) {
@@ -149,19 +277,27 @@ func (h *handler) estimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	ct := r.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, NDJSONContentType) {
-		h.estimateStream(w, r)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), NDJSONContentType) {
+		h.estimateStream(w, r, func(header []byte) (*Stream, error) {
+			var req Request
+			if err := json.Unmarshal(header, &req); err != nil {
+				// bareBadRequest keeps the v1 shim's exact error bodies
+				// (no "serve: invalid stream:" prefix) byte-compatible.
+				return nil, bareBadRequest{fmt.Sprintf("decode header: %v", err)}
+			}
+			if len(req.Bins) > 0 {
+				return nil, bareBadRequest{errHeaderBins.text}
+			}
+			spec, err := h.streamSpec(req)
+			if err != nil {
+				return nil, err
+			}
+			return h.engine.OpenInline(spec)
+		})
 		return
 	}
-	h.estimateBatch(w, r)
-}
-
-// estimateBatch answers a single JSON request with all bins at once.
-func (h *handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -170,14 +306,48 @@ func (h *handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	results, err := h.engine.EstimateBatch(spec, req.Bins)
+	results, err := h.engine.EstimateBatchInline(spec, req.Bins)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	// Marshal before committing the status: an unencodable estimate (a
-	// non-finite float produced by a degenerate observation) must become
-	// a 500, not a truncated 200 body.
+	h.writeBatch(w, results)
+}
+
+// estimateV2 implements POST /v2/estimate over registered handles, in
+// the same two protocols as v1: single-shot JSON and NDJSON streaming.
+func (h *handler) estimateV2(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), NDJSONContentType) {
+		h.estimateStream(w, r, func(header []byte) (*Stream, error) {
+			var req EstimateRequest
+			if err := json.Unmarshal(header, &req); err != nil {
+				return nil, fmt.Errorf("%w: decode header: %v", ErrStream, err)
+			}
+			if len(req.Bins) > 0 {
+				return nil, errHeaderBins
+			}
+			return h.engine.Open(req.SessionSpec)
+		})
+		return
+	}
+	var req EstimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("%w: decode request: %v", ErrStream, err))
+		return
+	}
+	results, err := h.engine.EstimateBatch(req.SessionSpec, req.Bins)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	h.writeBatch(w, results)
+}
+
+// writeBatch answers a single-shot request with all bins at once.
+// Marshal happens before committing the status: an unencodable estimate
+// (a non-finite float produced by a degenerate observation) must become
+// a 500, not a truncated 200 body.
+func (h *handler) writeBatch(w http.ResponseWriter, results []Estimate) {
 	body, err := json.Marshal(Response{Results: results})
 	if err != nil {
 		httpError(w, fmt.Errorf("encode response: %w", err))
@@ -187,33 +357,33 @@ func (h *handler) estimateBatch(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(body, '\n')) //nolint:errcheck // client gone; nothing to do
 }
 
-// estimateStream drives the NDJSON protocol: header line, then bins;
-// estimates stream back one line each, in submission order, flushed as
-// they complete so a slow producer still sees its finished bins. The
-// engine's bounded pipeline propagates backpressure to the request body
-// read.
-func (h *handler) estimateStream(w http.ResponseWriter, r *http.Request) {
+// bareBadRequest is a 400 whose body is the message verbatim: it
+// matches ErrStream for the httpError status mapping without the
+// sentinel's "serve: invalid stream:" prefix, preserving the v1 wire
+// protocol's error bodies byte for byte.
+type bareBadRequest struct{ text string }
+
+func (e bareBadRequest) Error() string        { return e.text }
+func (e bareBadRequest) Is(target error) bool { return target == ErrStream }
+
+// errHeaderBins rejects NDJSON headers that carry inline bins (they
+// belong one per line, after the header).
+var errHeaderBins = bareBadRequest{"stream header must not carry bins (send them one per line)"}
+
+// estimateStream drives the NDJSON protocol shared by v1 and v2: a
+// version-specific open callback decodes the header line and opens the
+// stream (rejecting headers that carry bins); estimates stream back one
+// line each, in submission order, flushed as they complete so a slow
+// producer still sees its finished bins. The engine's bounded pipeline
+// propagates backpressure to the request body read.
+func (h *handler) estimateStream(w http.ResponseWriter, r *http.Request, open func(header []byte) (*Stream, error)) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // bins at n=200 are ~40k floats per line
 	if !sc.Scan() {
 		http.Error(w, "empty stream: want a header line", http.StatusBadRequest)
 		return
 	}
-	var req Request
-	if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-		http.Error(w, fmt.Sprintf("decode header: %v", err), http.StatusBadRequest)
-		return
-	}
-	if len(req.Bins) > 0 {
-		http.Error(w, "stream header must not carry bins (send them one per line)", http.StatusBadRequest)
-		return
-	}
-	spec, err := h.streamSpec(req)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	stream, err := h.engine.Open(spec)
+	stream, err := open(sc.Bytes())
 	if err != nil {
 		httpError(w, err)
 		return
@@ -225,6 +395,9 @@ func (h *handler) estimateStream(w http.ResponseWriter, r *http.Request) {
 	// (HTTP/2 is always full duplex and reports ErrNotSupported).
 	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil &&
 		!errors.Is(err, http.ErrNotSupported) {
+		stream.Close()
+		for range stream.Out() {
+		}
 		httpError(w, fmt.Errorf("enable full duplex: %w", err))
 		return
 	}

@@ -122,7 +122,7 @@ func TestHTTPEstimateBatchMatchesEngineBitwise(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	want, err := NewEngine(1).EstimateBatch(StreamSpec{
+	want, err := NewEngine(1).EstimateBatchInline(StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)
@@ -172,7 +172,7 @@ func TestHTTPEstimateNDJSONStream(t *testing.T) {
 		t.Errorf("Content-Type %q", ct)
 	}
 
-	want, err := NewEngine(1).EstimateBatch(StreamSpec{
+	want, err := NewEngine(1).EstimateBatchInline(StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)
@@ -298,6 +298,32 @@ func TestHTTPBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/estimate: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPV1ErrorBodiesByteCompatible pins the exact v1 NDJSON error
+// bodies of PR 4: the shim over the session engine must not grow a
+// sentinel prefix on the wire.
+func TestHTTPV1ErrorBodiesByteCompatible(t *testing.T) {
+	sc, _ := testScenario(t)
+	srv, _ := newTestServer(t, 1, sc)
+	cases := []struct {
+		name, body, want string
+	}{
+		{"broken header", `{"scenario":`, "decode header: unexpected end of JSON input\n"},
+		{"header with bins", `{"scenario":"isp","n":12,"bins":[{"t":0,"y":[1]}]}`,
+			"stream header must not carry bins (send them one per line)\n"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/v1/estimate", NDJSONContentType, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || string(got) != tc.want {
+			t.Errorf("%s: %d %q, want 400 %q", tc.name, resp.StatusCode, got, tc.want)
+		}
 	}
 }
 

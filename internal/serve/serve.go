@@ -1,22 +1,31 @@
 // Package serve is the online estimation engine behind cmd/icserve: the
 // long-lived subsystem that turns the batch reproduction into a service.
-// An Engine owns a topology-keyed pool of shared estimation.Solvers —
-// lazily constructed, once per distinct topology descriptor — and maps
-// unbounded streams of timestamped link-load bins to traffic-matrix
-// estimates through the deterministic streaming worker pool, with
-// bounded backpressure toward the producer and per-bin diagnostics
-// aggregated into service-lifetime telemetry.
+// An Engine is a resource registry plus an execution core: clients
+// register topologies under client-chosen keys and calibration state as
+// server-issued prior handles (validated once, at registration), then
+// open estimation sessions that reference those handles. Solvers live
+// in a topology-keyed LRU pool — lazily constructed, once per distinct
+// canonical descriptor — and unbounded streams of timestamped link-load
+// bins map to traffic-matrix estimates through the deterministic
+// streaming worker pool, with bounded backpressure toward the producer
+// and per-bin diagnostics aggregated into service-lifetime telemetry.
+// The v1 inline path (spec and prior state shipped on every request)
+// survives as a shim over the same pool, byte-compatible with PR 4.
 //
 // Determinism: estimation of one bin is a pure function of (topology,
 // prior state, options, bin), solvers are read-only after construction,
 // and the pipeline reassembles results in submission order — so the
 // estimate stream is bit-identical for any worker count. An estimate
-// served over HTTP equals estimation.EstimateBin run in-process on the
+// served over HTTP equals Estimator.EstimateBin run in-process on the
 // same inputs, byte for byte; cmd/icserve's end-to-end tests enforce
 // this.
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,21 +38,40 @@ import (
 	"ictm/internal/topology"
 )
 
-// ErrStream reports an invalid stream specification.
+// ErrStream reports an invalid stream specification or registration
+// payload: the client's fault, mapped to 400 over HTTP.
 var ErrStream = errors.New("serve: invalid stream")
+
+// ErrNotFound reports a reference to a topology key or prior handle
+// that is not registered (or was evicted): mapped to 404 over HTTP.
+var ErrNotFound = errors.New("serve: unknown resource")
+
+// ErrConflict reports a registration that collides with an existing
+// resource under the same key but different content: mapped to 409.
+var ErrConflict = errors.New("serve: conflicting registration")
+
+// ErrDraining reports that the engine is shutting down and refuses new
+// work: mapped to 503 so load balancers retry elsewhere.
+var ErrDraining = errors.New("serve: draining")
 
 // defaultBuffer is the per-stream backpressure allowance beyond the
 // worker count: how many completed-but-unconsumed bins a stream may
 // accumulate before its producer blocks.
 const defaultBuffer = 16
 
-// defaultMaxTopologies bounds the solver pool: clients control the
-// topology descriptors they send, so without a cap a long-lived server
-// accumulates one routing matrix + solver (O(n²) memory each) per
-// distinct spec forever. Beyond the cap the least-recently-used entry
-// is evicted; a re-requested topology rebuilds deterministically, so
-// eviction costs latency, never correctness.
+// defaultMaxTopologies bounds both the solver pool and the registered
+// topology namespace: clients control the descriptors they send, so
+// without a cap a long-lived server accumulates one routing matrix +
+// solver (O(n²) memory each) per distinct spec forever. Beyond the cap
+// the least-recently-used entry is evicted; a re-requested pool entry
+// rebuilds deterministically, so pool eviction costs latency, never
+// correctness, while an evicted registration must be re-registered
+// (clients see ErrNotFound, the documented lifecycle).
 const defaultMaxTopologies = 64
+
+// defaultMaxPriors bounds the registered-prior registry (fanout state is
+// O(n²) per handle). LRU eviction beyond the cap, like the solver pool.
+const defaultMaxPriors = 256
 
 // Bin is one timestamped link-load observation: the load vector y in
 // the routing row layout (internal links, then ingress, then egress
@@ -54,9 +82,30 @@ type Bin struct {
 	Y []float64 `json:"y"`
 }
 
-// StreamSpec fixes the per-stream estimation context shared by every
-// bin: which topology's routing matrix constrains the estimates, the
-// calibrated prior state, and the pipeline options.
+// SessionSpec fixes an estimation session's context by reference: a
+// registered topology key, a registered prior handle, and the pipeline
+// toggles. It is the register-once counterpart of the v1 StreamSpec —
+// resources are validated at registration, so opening a session is a
+// pair of registry lookups.
+type SessionSpec struct {
+	// Topology is the client-chosen key the topology was registered
+	// under (RegisterTopology).
+	Topology string `json:"topology"`
+	// Prior is the server-issued handle of the registered calibration
+	// state (RegisterPrior).
+	Prior string `json:"prior"`
+	// Weighted selects the prior-weighted tomogravity projection.
+	Weighted bool `json:"weighted,omitempty"`
+	// SkipIPF disables the marginal-fitting step 3.
+	SkipIPF bool `json:"skip_ipf,omitempty"`
+}
+
+// StreamSpec fixes the per-stream estimation context of the v1 inline
+// protocol: the full topology descriptor and serialized prior state are
+// re-sent (and re-validated) on every call. New clients should register
+// the topology and prior once (RegisterTopology, RegisterPrior) and
+// open sessions by handle with a SessionSpec; the inline path remains a
+// supported compatibility surface for the v1 wire protocol.
 type StreamSpec struct {
 	// Topology describes the routing substrate. Streams naming the same
 	// descriptor share one lazily-built solver.
@@ -84,6 +133,18 @@ type Estimate struct {
 	Error string `json:"error,omitempty"`
 }
 
+// TopologyInfo describes one registered topology for the listing API.
+type TopologyInfo struct {
+	// Key is the client-chosen registration key.
+	Key string `json:"key"`
+	// N is the node count of the built topology.
+	N int `json:"n"`
+	// Spec is the registered descriptor.
+	Spec topology.Spec `json:"spec"`
+	// Priors counts the prior handles registered against this topology.
+	Priors int `json:"priors"`
+}
+
 // Stats is a snapshot of the engine's service-lifetime telemetry: the
 // streaming aggregate of the per-bin BinDiag diagnostics plus serving
 // counters.
@@ -94,6 +155,16 @@ type Stats struct {
 	// TopologiesEvicted counts pool entries dropped by the LRU bound.
 	Topologies        int   `json:"topologies"`
 	TopologiesEvicted int64 `json:"topologies_evicted"`
+	// RegisteredTopologies and RegisteredPriors count the live entries
+	// of the v2 resource registry; RegistrationsEvicted counts registry
+	// entries (topologies with their cascaded priors, and priors) that
+	// the LRU bounds dropped.
+	RegisteredTopologies int   `json:"registered_topologies"`
+	RegisteredPriors     int   `json:"registered_priors"`
+	RegistrationsEvicted int64 `json:"registrations_evicted"`
+	// Draining is true once Drain was called: new sessions and
+	// registrations are refused while in-flight streams finish.
+	Draining bool `json:"draining"`
 	// Streams counts estimation streams opened (batches included).
 	Streams int64 `json:"streams"`
 	// Bins counts bins estimated, BinErrors those that failed in-band.
@@ -108,19 +179,26 @@ type Stats struct {
 }
 
 // Engine is the shared, long-lived estimation core. It is safe for
-// concurrent use: solver construction is once-guarded per topology key,
-// solvers are read-only afterwards, and telemetry is atomic.
+// concurrent use: estimator construction is once-guarded per topology
+// key, estimators are read-only afterwards, registry access is guarded
+// by one mutex, and telemetry is atomic.
 type Engine struct {
 	workers int
 	buffer  int
-	// maxTopologies bounds the solver pool (LRU eviction beyond it).
+	// maxTopologies bounds the solver pool and the topology registry;
+	// maxPriors bounds the prior registry (LRU eviction beyond each).
 	maxTopologies int
+	maxPriors     int
 
 	mu      sync.Mutex
-	solvers map[string]*solverEntry
-	tick    int64 // monotonic use counter driving the LRU order
-	evicted int64
+	solvers map[string]*solverEntry // canonical spec key → pooled estimator
+	topos   map[string]*topoEntry   // client key → registered topology
+	priors  map[string]*priorEntry  // server handle → registered prior
+	tick    int64                   // monotonic use counter driving the LRU orders
+	evicted int64                   // solver-pool evictions
+	regEvic int64                   // registry evictions (topologies + priors)
 
+	draining  atomic.Bool
 	streams   atomic.Int64
 	bins      atomic.Int64
 	binErrors atomic.Int64
@@ -129,17 +207,38 @@ type Engine struct {
 	denseFB   atomic.Int64
 }
 
-// solverEntry is one topology's lazily-built solver. The once guards
-// graph + routing + solver construction (the FactorDense pattern): the
-// first stream naming a topology pays the O(nnz) build, every later
-// stream shares the result, and a failed build is cached as its error.
+// solverEntry is one topology's lazily-built estimation session. The
+// once guards graph + routing + estimator construction (the FactorDense
+// pattern): the first stream naming a topology pays the O(nnz) build,
+// every later stream shares the result, and a failed build is cached as
+// its error.
 type solverEntry struct {
-	once   sync.Once
-	rm     *routing.Matrix
-	solver *estimation.Solver
-	err    error
+	once sync.Once
+	rm   *routing.Matrix
+	est  *estimation.Estimator
+	err  error
 	// lastUse is the engine tick of the entry's most recent lookup,
 	// guarded by the engine mutex.
+	lastUse int64
+}
+
+// topoEntry is one registered topology: the client key maps to the
+// descriptor whose canonical form keys the solver pool.
+type topoEntry struct {
+	spec topology.Spec
+	// canonical is spec.Key(): registrations conflict only when the same
+	// client key names a different canonical topology.
+	canonical string
+	n         int
+	lastUse   int64
+}
+
+// priorEntry is one registered prior: validated calibration state bound
+// to the topology it was registered against.
+type priorEntry struct {
+	topoKey string
+	state   []byte // canonical JSON of the PriorState, for idempotence
+	prior   estimation.Prior
 	lastUse int64
 }
 
@@ -151,31 +250,41 @@ func NewEngine(workers int) *Engine {
 		workers:       workers,
 		buffer:        defaultBuffer,
 		maxTopologies: defaultMaxTopologies,
+		maxPriors:     defaultMaxPriors,
 		solvers:       make(map[string]*solverEntry),
+		topos:         make(map[string]*topoEntry),
+		priors:        make(map[string]*priorEntry),
 	}
 }
 
-// solverFor returns the shared solver for a topology descriptor,
-// building it on first use. The pool is LRU-bounded: inserting beyond
-// maxTopologies evicts the least-recently-used entry (failed builds
-// included, so an attacker cannot pin the pool with broken specs).
-// Streams hold direct solver references, so evicting an entry never
-// invalidates work in flight — the next lookup just rebuilds.
-func (e *Engine) solverFor(spec topology.Spec) (*estimation.Solver, *routing.Matrix, error) {
+// Drain switches the engine into shutdown mode: every subsequent
+// registration and session open fails with ErrDraining while streams
+// already open keep serving. Draining is one-way.
+func (e *Engine) Drain() { e.draining.Store(true) }
+
+// checkAccepting returns ErrDraining once Drain was called.
+func (e *Engine) checkAccepting() error {
+	if e.draining.Load() {
+		return ErrDraining
+	}
+	return nil
+}
+
+// estimatorFor returns the pooled base estimator for a topology
+// descriptor, building it on first use. The pool is LRU-bounded:
+// inserting beyond maxTopologies evicts the least-recently-used entry
+// (failed builds included, so an attacker cannot pin the pool with
+// broken specs). Streams hold direct estimator references, so evicting
+// an entry never invalidates work in flight — the next lookup just
+// rebuilds.
+func (e *Engine) estimatorFor(spec topology.Spec) (*estimation.Estimator, *routing.Matrix, error) {
 	key := spec.Key()
 	e.mu.Lock()
 	e.tick++
 	ent, ok := e.solvers[key]
 	if !ok {
 		if len(e.solvers) >= e.maxTopologies {
-			var lruKey string
-			lru := int64(1<<63 - 1)
-			for k, s := range e.solvers {
-				if s.lastUse < lru {
-					lru, lruKey = s.lastUse, k
-				}
-			}
-			delete(e.solvers, lruKey)
+			delete(e.solvers, lruKey(e.solvers, func(s *solverEntry) int64 { return s.lastUse }))
 			e.evicted++
 		}
 		ent = &solverEntry{}
@@ -194,14 +303,220 @@ func (e *Engine) solverFor(spec topology.Spec) (*estimation.Solver, *routing.Mat
 			ent.err = fmt.Errorf("serve: build routing: %w", err)
 			return
 		}
-		solver, err := estimation.NewSolver(rm)
+		est, err := estimation.NewEstimator(rm)
 		if err != nil {
 			ent.err = fmt.Errorf("serve: build solver: %w", err)
 			return
 		}
-		ent.rm, ent.solver = rm, solver
+		ent.rm, ent.est = rm, est
 	})
-	return ent.solver, ent.rm, ent.err
+	return ent.est, ent.rm, ent.err
+}
+
+// RegisterTopology validates and registers a topology descriptor under
+// a client-chosen key, eagerly building (and pooling) its solver so a
+// malformed spec fails here, not inside the first session. Registration
+// is idempotent: re-registering the same canonical topology under the
+// same key succeeds with created=false; a key collision with a
+// different topology fails with ErrConflict. Beyond the registry bound
+// the least-recently-used registration (and its priors) is evicted.
+// n reports the registered topology's node count.
+func (e *Engine) RegisterTopology(key string, spec topology.Spec) (n int, created bool, err error) {
+	if err := e.checkAccepting(); err != nil {
+		return 0, false, err
+	}
+	if key == "" {
+		return 0, false, fmt.Errorf("%w: empty topology key", ErrStream)
+	}
+	canonical := spec.Key()
+
+	e.mu.Lock()
+	if ent, ok := e.topos[key]; ok {
+		if ent.canonical != canonical {
+			e.mu.Unlock()
+			return 0, false, fmt.Errorf("%w: topology key %q already registered with a different spec", ErrConflict, key)
+		}
+		e.tick++
+		ent.lastUse = e.tick
+		n = ent.n
+		e.mu.Unlock()
+		return n, false, nil
+	}
+	e.mu.Unlock()
+
+	// Validate outside the lock: the build can be O(n³) and the pool
+	// entry's once already serializes concurrent builders of one spec.
+	_, rm, err := e.estimatorFor(spec)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.topos[key]; ok { // lost a registration race
+		if ent.canonical != canonical {
+			return 0, false, fmt.Errorf("%w: topology key %q already registered with a different spec", ErrConflict, key)
+		}
+		return ent.n, false, nil
+	}
+	if len(e.topos) >= e.maxTopologies {
+		e.dropTopologyLocked(lruKey(e.topos, func(t *topoEntry) int64 { return t.lastUse }))
+	}
+	e.tick++
+	e.topos[key] = &topoEntry{spec: spec, canonical: canonical, n: rm.N, lastUse: e.tick}
+	return rm.N, true, nil
+}
+
+// lruKey returns the key of the least-recently-used entry of a pool or
+// registry map (the shared eviction policy). Caller holds e.mu and does
+// the deletion (and its bookkeeping) itself.
+func lruKey[E any](m map[string]E, lastUse func(E) int64) string {
+	var key string
+	lru := int64(1<<63 - 1)
+	for k, ent := range m {
+		if t := lastUse(ent); t < lru {
+			lru, key = t, k
+		}
+	}
+	return key
+}
+
+// dropTopologyLocked removes a registered topology and cascades to the
+// priors registered against it (a dangling prior handle could otherwise
+// reference a key that no longer resolves). Caller holds e.mu.
+func (e *Engine) dropTopologyLocked(key string) {
+	delete(e.topos, key)
+	e.regEvic++
+	for h, p := range e.priors {
+		if p.topoKey == key {
+			delete(e.priors, h)
+			e.regEvic++
+		}
+	}
+}
+
+// priorHandle derives the deterministic server handle of a prior
+// registration: a short content hash over the owning topology key and
+// the canonical state JSON, so re-registering identical state yields
+// the same handle (idempotent) regardless of registration order.
+func priorHandle(topoKey string, state []byte) string {
+	h := sha256.New()
+	h.Write([]byte(topoKey))
+	h.Write([]byte{0})
+	h.Write(state)
+	return "pr-" + hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// RegisterPrior validates serialized calibration state against a
+// registered topology's network size and stores it under a
+// server-issued handle. Registration is idempotent: identical state
+// against the same topology returns the same handle with created=false.
+// Unknown topology keys fail with ErrNotFound, malformed state with
+// ErrStream. Beyond the registry bound the least-recently-used prior is
+// evicted.
+func (e *Engine) RegisterPrior(topoKey string, state estimation.PriorState) (handle string, created bool, err error) {
+	if err := e.checkAccepting(); err != nil {
+		return "", false, err
+	}
+	e.mu.Lock()
+	ent, ok := e.topos[topoKey]
+	if !ok {
+		e.mu.Unlock()
+		return "", false, fmt.Errorf("%w: topology key %q", ErrNotFound, topoKey)
+	}
+	e.tick++
+	ent.lastUse = e.tick
+	n := ent.n
+	e.mu.Unlock()
+
+	prior, err := state.Prior(n)
+	if err != nil {
+		return "", false, fmt.Errorf("%w: prior: %v", ErrStream, err)
+	}
+	canonical, err := json.Marshal(state)
+	if err != nil {
+		return "", false, fmt.Errorf("%w: prior: %v", ErrStream, err)
+	}
+	handle = priorHandle(topoKey, canonical)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tick++
+	if p, ok := e.priors[handle]; ok {
+		// The handle is a truncated content hash: confirm the stored
+		// registration really is this one before calling it idempotent,
+		// so a hash collision surfaces as a conflict instead of silently
+		// serving another client's calibration state.
+		if p.topoKey != topoKey || !bytes.Equal(p.state, canonical) {
+			return "", false, fmt.Errorf("%w: prior handle %q already registered with different state", ErrConflict, handle)
+		}
+		p.lastUse = e.tick
+		return handle, false, nil
+	}
+	// The topology was validated before the lock was dropped for
+	// state.Prior; concurrent registrations may have evicted (and a
+	// future client could re-register) the key meanwhile. Re-check under
+	// the lock so a prior validated against a stale n can never land.
+	if ent, ok := e.topos[topoKey]; !ok || ent.n != n {
+		return "", false, fmt.Errorf("%w: topology key %q", ErrNotFound, topoKey)
+	}
+	if len(e.priors) >= e.maxPriors {
+		delete(e.priors, lruKey(e.priors, func(p *priorEntry) int64 { return p.lastUse }))
+		e.regEvic++
+	}
+	e.priors[handle] = &priorEntry{topoKey: topoKey, state: canonical, prior: prior, lastUse: e.tick}
+	return handle, true, nil
+}
+
+// Topologies lists the registered topologies (not the anonymous pool
+// entries the v1 inline path creates), sorted by key at the HTTP layer.
+func (e *Engine) Topologies() []TopologyInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TopologyInfo, 0, len(e.topos))
+	for key, ent := range e.topos {
+		info := TopologyInfo{Key: key, N: ent.n, Spec: ent.spec}
+		for _, p := range e.priors {
+			if p.topoKey == key {
+				info.Priors++
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// resolveSession maps a SessionSpec's handles to the live resources:
+// the registered topology's pooled estimator and the registered prior.
+func (e *Engine) resolveSession(s SessionSpec) (*estimation.Estimator, *routing.Matrix, estimation.Prior, error) {
+	e.mu.Lock()
+	ent, ok := e.topos[s.Topology]
+	if !ok {
+		e.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w: topology key %q", ErrNotFound, s.Topology)
+	}
+	e.tick++
+	ent.lastUse = e.tick
+	spec := ent.spec
+	p, ok := e.priors[s.Prior]
+	if !ok {
+		e.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w: prior handle %q", ErrNotFound, s.Prior)
+	}
+	if p.topoKey != s.Topology {
+		e.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w: prior handle %q is registered for topology %q, not %q",
+			ErrNotFound, s.Prior, p.topoKey, s.Topology)
+	}
+	p.lastUse = e.tick
+	prior := p.prior
+	e.mu.Unlock()
+
+	est, rm, err := e.estimatorFor(spec)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	return est, rm, prior, nil
 }
 
 // Stream is one open estimation stream: submit bins, read estimates in
@@ -226,12 +541,33 @@ func (s *Stream) Close() { s.pipe.Close() }
 // Out returns the ordered estimate stream.
 func (s *Stream) Out() <-chan Estimate { return s.out }
 
-// Open validates the stream context, lazily builds (or reuses) the
-// topology's solver, and starts the estimation pipeline. A per-bin
-// failure is reported on that bin's Estimate.Error and the stream keeps
-// serving; Open itself fails only on an invalid spec.
-func (e *Engine) Open(spec StreamSpec) (*Stream, error) {
-	solver, rm, err := e.solverFor(spec.Topology)
+// Open starts an estimation session over registered resources: the
+// topology key and prior handle resolve through the registry (404
+// semantics for unknown or mismatched handles) and the pooled estimator
+// is derived with the session's pipeline toggles. A per-bin failure is
+// reported on that bin's Estimate.Error and the stream keeps serving.
+func (e *Engine) Open(s SessionSpec) (*Stream, error) {
+	if err := e.checkAccepting(); err != nil {
+		return nil, err
+	}
+	est, rm, prior, err := e.resolveSession(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.open(est, rm, prior, s.Weighted, s.SkipIPF), nil
+}
+
+// OpenInline validates the v1 inline stream context, lazily builds (or
+// reuses) the topology's pooled estimator, and starts the estimation
+// pipeline — re-validating the prior state on every call, which is
+// exactly the per-request cost the register-once API (Open with a
+// SessionSpec) removes. It remains as the engine face of the v1 wire
+// protocol.
+func (e *Engine) OpenInline(spec StreamSpec) (*Stream, error) {
+	if err := e.checkAccepting(); err != nil {
+		return nil, err
+	}
+	est, rm, err := e.estimatorFor(spec.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStream, err)
 	}
@@ -239,7 +575,14 @@ func (e *Engine) Open(spec StreamSpec) (*Stream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: prior: %v", ErrStream, err)
 	}
-	opts := estimation.Options{Weighted: spec.Weighted, SkipIPF: spec.SkipIPF}
+	return e.open(est, rm, prior, spec.Weighted, spec.SkipIPF), nil
+}
+
+// open starts the estimation pipeline over resolved resources. The
+// session estimator is derived from the pooled base so every projection
+// runs against the shared read-only solver.
+func (e *Engine) open(base *estimation.Estimator, rm *routing.Matrix, prior estimation.Prior, weighted, skipIPF bool) *Stream {
+	est := base.With(estimation.WithWeighted(weighted), estimation.WithSkipIPF(skipIPF))
 	rows := rm.Rows()
 	e.streams.Add(1)
 
@@ -248,11 +591,11 @@ func (e *Engine) Open(spec StreamSpec) (*Stream, error) {
 			return Estimate{T: b.T}, fmt.Errorf("bin %d: load vector of %d, want %d (L=%d internal links + 2n=%d marginal rows)",
 				b.T, len(b.Y), rows, rm.L, 2*rm.N)
 		}
-		est, diag, err := estimation.EstimateBin(solver, prior, b.T, b.Y, opts)
+		x, diag, err := est.EstimateBin(prior, b.T, b.Y)
 		if err != nil {
 			return Estimate{T: b.T}, err
 		}
-		return Estimate{T: b.T, N: rm.N, Estimate: est.Vec(), Diag: diag}, nil
+		return Estimate{T: b.T, N: rm.N, Estimate: x.Vec(), Diag: diag}, nil
 	})
 
 	out := make(chan Estimate)
@@ -278,16 +621,11 @@ func (e *Engine) Open(spec StreamSpec) (*Stream, error) {
 		}
 		close(out)
 	}()
-	return &Stream{n: rm.N, pipe: pipe, out: out}, nil
+	return &Stream{n: rm.N, pipe: pipe, out: out}
 }
 
-// EstimateBatch is the one-shot convenience over Open: estimate a bin
-// slice and collect the results in order.
-func (e *Engine) EstimateBatch(spec StreamSpec, bins []Bin) ([]Estimate, error) {
-	s, err := e.Open(spec)
-	if err != nil {
-		return nil, err
-	}
+// drainBatch collects one stream's ordered output for a bin slice.
+func drainBatch(s *Stream, bins []Bin) []Estimate {
 	done := make(chan []Estimate)
 	go func() {
 		out := make([]Estimate, 0, len(bins))
@@ -300,7 +638,28 @@ func (e *Engine) EstimateBatch(spec StreamSpec, bins []Bin) ([]Estimate, error) 
 		s.Submit(b)
 	}
 	s.Close()
-	return <-done, nil
+	return <-done
+}
+
+// EstimateBatch is the one-shot convenience over Open: estimate a bin
+// slice against registered resources and collect the results in order.
+func (e *Engine) EstimateBatch(s SessionSpec, bins []Bin) ([]Estimate, error) {
+	stream, err := e.Open(s)
+	if err != nil {
+		return nil, err
+	}
+	return drainBatch(stream, bins), nil
+}
+
+// EstimateBatchInline is the one-shot convenience over OpenInline (the
+// v1 compatibility path; new clients register once and use
+// EstimateBatch with a SessionSpec).
+func (e *Engine) EstimateBatchInline(spec StreamSpec, bins []Bin) ([]Estimate, error) {
+	stream, err := e.OpenInline(spec)
+	if err != nil {
+		return nil, err
+	}
+	return drainBatch(stream, bins), nil
 }
 
 // Stats returns a telemetry snapshot.
@@ -308,11 +667,18 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	topologies := len(e.solvers)
 	evicted := e.evicted
+	regTopos := len(e.topos)
+	regPriors := len(e.priors)
+	regEvic := e.regEvic
 	e.mu.Unlock()
 	return Stats{
 		Workers:                parallel.Resolve(e.workers),
 		Topologies:             topologies,
 		TopologiesEvicted:      evicted,
+		RegisteredTopologies:   regTopos,
+		RegisteredPriors:       regPriors,
+		RegistrationsEvicted:   regEvic,
+		Draining:               e.draining.Load(),
 		Streams:                e.streams.Load(),
 		Bins:                   e.bins.Load(),
 		BinErrors:              e.binErrors.Load(),
@@ -324,9 +690,9 @@ func (e *Engine) Stats() Stats {
 
 // LinkLoads is a convenience for tests and clients generating synthetic
 // observations: Y = R·vec(x) for the topology's routing matrix. It
-// shares (and lazily builds) the engine's solver pool entry.
+// shares (and lazily builds) the engine's pool entry.
 func (e *Engine) LinkLoads(spec topology.Spec, x *tm.TrafficMatrix) ([]float64, error) {
-	_, rm, err := e.solverFor(spec)
+	_, rm, err := e.estimatorFor(spec)
 	if err != nil {
 		return nil, err
 	}

@@ -51,7 +51,7 @@ func testBins(t testing.TB, sc synth.Scenario, d *synth.Dataset) []Bin {
 }
 
 // TestEngineMatchesEstimateBinBitwise: the served estimates equal
-// estimation.EstimateBin run in-process, bit for bit, for workers=1 and
+// Estimator.EstimateBin run in-process, bit for bit, for workers=1 and
 // workers=8 — the engine adds orchestration, never arithmetic.
 func TestEngineMatchesEstimateBinBitwise(t *testing.T) {
 	sc, d := testScenario(t)
@@ -70,14 +70,14 @@ func TestEngineMatchesEstimateBinBitwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver, err := estimation.NewSolver(rm)
+	ref, err := estimation.NewEstimator(rm)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for _, workers := range []int{1, 8} {
 		engine := NewEngine(workers)
-		got, err := engine.EstimateBatch(spec, bins)
+		got, err := engine.EstimateBatchInline(spec, bins)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -91,7 +91,7 @@ func TestEngineMatchesEstimateBinBitwise(t *testing.T) {
 			if est.T != i || est.N != sc.N {
 				t.Fatalf("workers=%d bin %d: t=%d n=%d", workers, i, est.T, est.N)
 			}
-			want, diag, err := estimation.EstimateBin(solver, estimation.GravityPrior{}, i, bins[i].Y, estimation.Options{})
+			want, diag, err := ref.EstimateBin(estimation.GravityPrior{}, i, bins[i].Y)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,18 +114,18 @@ func TestEngineSolverPoolSharedAcrossEquivalentSpecs(t *testing.T) {
 	engine := NewEngine(1)
 	a := topology.Spec{Family: topology.FamilyWaxman, N: 10, Seed: 3}
 	b := topology.Spec{Family: topology.FamilyWaxman, N: 10, Seed: 3, Alpha: 0.6, Beta: 0.4}
-	sa, rma, err := engine.solverFor(a)
+	sa, rma, err := engine.estimatorFor(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, rmb, err := engine.solverFor(b)
+	sb, rmb, err := engine.estimatorFor(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sa != sb || rma != rmb {
 		t.Error("equivalent specs built separate solvers")
 	}
-	if _, _, err := engine.solverFor(topology.Spec{Family: topology.FamilyWaxman, N: 11, Seed: 3}); err != nil {
+	if _, _, err := engine.estimatorFor(topology.Spec{Family: topology.FamilyWaxman, N: 11, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if got := engine.Stats().Topologies; got != 2 {
@@ -143,13 +143,13 @@ func TestEngineSolverPoolLRUBounded(t *testing.T) {
 	spec := func(seed uint64) topology.Spec {
 		return topology.Spec{Family: topology.FamilyRingChords, N: 5, Chords: 1, Seed: seed}
 	}
-	get := func(s topology.Spec) *estimation.Solver {
+	get := func(s topology.Spec) *estimation.Estimator {
 		t.Helper()
-		solver, _, err := engine.solverFor(s)
+		est, _, err := engine.estimatorFor(s)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return solver
+		return est
 	}
 	a1 := get(spec(1))
 	b1 := get(spec(2))
@@ -174,7 +174,7 @@ func TestEnginePerBinErrorsFlowInBand(t *testing.T) {
 	bins := testBins(t, sc, d)[:3]
 	bins[1] = Bin{T: 1, Y: []float64{1, 2, 3}} // wrong length
 	engine := NewEngine(2)
-	got, err := engine.EstimateBatch(StreamSpec{
+	got, err := engine.EstimateBatchInline(StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)
@@ -197,19 +197,19 @@ func TestEnginePerBinErrorsFlowInBand(t *testing.T) {
 // Open with ErrStream.
 func TestEngineOpenRejectsBadSpecs(t *testing.T) {
 	engine := NewEngine(1)
-	if _, err := engine.Open(StreamSpec{
+	if _, err := engine.OpenInline(StreamSpec{
 		Topology: topology.Spec{Family: "bogus", N: 5},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("bad topology: %v", err)
 	}
-	if _, err := engine.Open(StreamSpec{
+	if _, err := engine.OpenInline(StreamSpec{
 		Topology: topology.Spec{Family: topology.FamilyRingChords, N: 6, Seed: 1},
 		Prior:    estimation.PriorState{Name: "bogus"},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("bad prior: %v", err)
 	}
 	// A failed topology build is cached as its error, not rebuilt.
-	if _, err := engine.Open(StreamSpec{
+	if _, err := engine.OpenInline(StreamSpec{
 		Topology: topology.Spec{Family: "bogus", N: 5},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("cached bad topology: %v", err)
@@ -223,7 +223,7 @@ func TestEngineStreamUnbounded(t *testing.T) {
 	sc, d := testScenario(t)
 	bins := testBins(t, sc, d)
 	engine := NewEngine(4)
-	stream, err := engine.Open(StreamSpec{
+	stream, err := engine.OpenInline(StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "ic-stable-f", F: 0.25},
 		SkipIPF:  true,
