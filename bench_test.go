@@ -310,6 +310,96 @@ func BenchmarkEstimationISPLike100(b *testing.B) { benchEstimationISPLike(b, 100
 // 40 000 OD flows per bin.
 func BenchmarkEstimationISPLike200(b *testing.B) { benchEstimationISPLike(b, 200) }
 
+// --- topology-mutation benchmarks (incremental patch vs full rebuild) ---
+
+// benchPatchSetup builds the live-mutation fixture: the ISPLike(100)
+// backbone-stub graph, its routing matrix, an estimation session with
+// registered priors, and a single-link flap delta (the first event of
+// the scenario's deterministic failure schedule).
+func benchPatchSetup(b *testing.B) (*Graph, *RoutingMatrix, *Estimator, TopologyDelta) {
+	b.Helper()
+	sc := synth.ISPLike(100)
+	g, err := topology.BackboneStub(sc.N, 0, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := estimation.NewEstimator(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, st := range benchPatchPriors() {
+		if _, err := est.RegisterPrior(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sched, err := synth.GenerateFlaps(sc, g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, rm, est, sched.Events[0].Down()
+}
+
+// benchPatchPriors is the registered calibration state both sides of the
+// pair must end up holding (carried by Rebase, re-registered by the
+// rebuild).
+func benchPatchPriors() []PriorState {
+	return []PriorState{{Name: "gravity"}, {Name: "ic-stable-f", F: 0.25}}
+}
+
+// BenchmarkTopologyPatch measures the live-mutation path a single-link
+// failure costs an open estimation session: routing.Patch (2n Dijkstra
+// sweeps + touched-pair recomputation instead of 2n²) followed by
+// Estimator.Rebase (prior instances reused, nothing re-validated). The
+// PR 6 acceptance criterion requires >= 10x over
+// BenchmarkTopologyRebuild at this scale.
+func BenchmarkTopologyPatch(b *testing.B) {
+	g, rm, est, delta := benchPatchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm, _, err := routing.Patch(rm, g, delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := est.Rebase(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyRebuild measures the same mutation from scratch on
+// identical inputs: apply the delta, rebuild the full routing matrix,
+// open a fresh estimation session, and re-register the priors — the
+// only way to follow a topology change before the delta pipeline.
+func BenchmarkTopologyRebuild(b *testing.B) {
+	g, _, _, delta := benchPatchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ng, _, err := g.Apply(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm, err := routing.Build(ng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est, err := estimation.NewEstimator(rm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range benchPatchPriors() {
+			if _, err := est.RegisterPrior(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- weighted-projection benchmarks (dense SVD vs sparse LSQR) ---
 
 // benchWeightedSetup builds the shared fixtures of the weighted

@@ -7,11 +7,18 @@
 // must be present in the measured output, so a renamed or deleted
 // benchmark cannot silently drop out of the gate.
 //
+// -min-ratio gates a *pair* of measured benchmarks against each other
+// instead of against a baseline: "Slow/Fast=10" demands that the median
+// of BenchmarkSlow stay at least 10x the median of BenchmarkFast. It
+// pins speedup claims (an incremental path vs its from-scratch
+// equivalent) in relative terms, immune to host-speed drift.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'NewSolver|ProjectWeighted' -benchtime 100ms -count 5 . | tee bench.txt
 //	benchcheck -bench bench.txt -baseline BENCH_pr2.json -baseline BENCH_pr3.json \
-//	    -max-ratio 2 -require BenchmarkNewSolverSparse,BenchmarkProjectWeightedLSQR
+//	    -max-ratio 2 -require BenchmarkNewSolverSparse,BenchmarkProjectWeightedLSQR \
+//	    -min-ratio BenchmarkTopologyRebuild/BenchmarkTopologyPatch=10
 package main
 
 import (
@@ -76,6 +83,34 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 	return out, nil
 }
 
+// ratioGate is one parsed -min-ratio constraint:
+// median(Num) / median(Den) must be at least Min.
+type ratioGate struct {
+	Num, Den string
+	Min      float64
+}
+
+// parseRatioGates parses repeated "Numerator/Denominator=ratio" specs.
+func parseRatioGates(specs []string) ([]ratioGate, error) {
+	var gates []ratioGate
+	for _, spec := range specs {
+		pair, minStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-min-ratio %q: want Numerator/Denominator=ratio", spec)
+		}
+		num, den, ok := strings.Cut(pair, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("-min-ratio %q: want Numerator/Denominator=ratio", spec)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("-min-ratio %q: ratio must be a positive number", spec)
+		}
+		gates = append(gates, ratioGate{Num: num, Den: den, Min: min})
+	}
+	return gates, nil
+}
+
 // median returns the median of a non-empty sample.
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
@@ -92,13 +127,14 @@ func median(xs []float64) float64 {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var baselines multiFlag
+	var baselines, minRatios multiFlag
 	var (
 		benchPath = fs.String("bench", "-", `go test -bench output ("-" = stdin)`)
 		maxRatio  = fs.Float64("max-ratio", 2, "fail when median ns/op exceeds baseline by more than this factor")
 		require   = fs.String("require", "", "comma-separated benchmark names that must appear in the measured output")
 	)
 	fs.Var(&baselines, "baseline", "baseline JSON file (repeatable; BENCH_pr*.json layout)")
+	fs.Var(&minRatios, "min-ratio", `measured-pair speedup floor "Numerator/Denominator=ratio" (repeatable): median(Numerator) must stay >= ratio x median(Denominator)`)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
@@ -110,6 +146,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *maxRatio <= 0 {
 		return fmt.Errorf("-max-ratio %g must be positive", *maxRatio)
+	}
+	gates, err := parseRatioGates(minRatios)
+	if err != nil {
+		return err
 	}
 
 	base := make(map[string]float64)
@@ -191,6 +231,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if ratio > *maxRatio {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: median %.0f ns/op vs baseline %.0f (%.2fx > %.2gx)", name, med, b, ratio, *maxRatio))
+		}
+	}
+	// Pair gates compare two measured medians against each other; both
+	// sides must be present, for the same reason as -require.
+	for _, gate := range gates {
+		num, okN := measured[gate.Num]
+		den, okD := measured[gate.Den]
+		if !okN || !okD {
+			var missing []string
+			if !okN {
+				missing = append(missing, gate.Num)
+			}
+			if !okD {
+				missing = append(missing, gate.Den)
+			}
+			return fmt.Errorf("min-ratio %s/%s: not measured: %s (renamed or deleted?)",
+				gate.Num, gate.Den, strings.Join(missing, ", "))
+		}
+		ratio := median(num) / median(den)
+		fmt.Fprintf(stdout, "%-40s %22.2fx (floor %gx)\n", gate.Num+"/"+gate.Den, ratio, gate.Min)
+		if ratio < gate.Min {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: measured %.2fx below the %gx floor", gate.Num, gate.Den, ratio, gate.Min))
 		}
 	}
 	if len(regressions) > 0 {

@@ -137,6 +137,41 @@ func TestRunLaterBaselineWins(t *testing.T) {
 	}
 }
 
+// TestRunMinRatioGate: the pair-speedup floor passes when the measured
+// medians clear it, fails below it naming the pair, and insists both
+// sides exist (a renamed benchmark must not silently drop the gate).
+func TestRunMinRatioGate(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	baseline := write(t, "base.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+
+	// Medians: ISPLike100 ~2.2e8, NewSolverSparse 240 — a huge ratio.
+	args := []string{"-bench", bench, "-baseline", baseline,
+		"-min-ratio", "BenchmarkEstimationISPLike100/BenchmarkNewSolverSparse=10"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("clearing pair gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEstimationISPLike100/BenchmarkNewSolverSparse") {
+		t.Errorf("report missing pair-gate line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"-bench", bench, "-baseline", baseline,
+		"-min-ratio", "BenchmarkNewSolverSparse/BenchmarkEstimationISPLike100=10"}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("inverted pair cleared a 10x floor:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "below the 10x floor") {
+		t.Errorf("pair failure lacks the floor: %v", err)
+	}
+
+	err = run([]string{"-bench", bench, "-baseline", baseline,
+		"-min-ratio", "BenchmarkGone/BenchmarkNewSolverSparse=10"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Errorf("missing pair member not reported: %v", err)
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	bench := write(t, "bench.txt", sampleBench)
 	baseline := write(t, "base.json", sampleBaseline)
@@ -152,6 +187,9 @@ func TestRunBadInputs(t *testing.T) {
 		"bad ratio":       {"-bench", bench, "-baseline", baseline, "-max-ratio", "0"},
 		"missing file":    {"-bench", "nope.txt", "-baseline", baseline},
 		"missing basefil": {"-bench", bench, "-baseline", "nope.json"},
+		"min-ratio no =":  {"-bench", bench, "-baseline", baseline, "-min-ratio", "A/B"},
+		"min-ratio no /":  {"-bench", bench, "-baseline", baseline, "-min-ratio", "AB=3"},
+		"min-ratio neg":   {"-bench", bench, "-baseline", baseline, "-min-ratio", "A/B=-1"},
 	} {
 		if err := run(args, &out, &errBuf); err == nil {
 			t.Errorf("%s: want error", name)

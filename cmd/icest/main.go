@@ -24,6 +24,8 @@ import (
 	"ictm/internal/routing"
 	"ictm/internal/stats"
 	"ictm/internal/synth"
+	"ictm/internal/tm"
+	"ictm/internal/topology"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		weighted  = fs.Bool("weighted", false, "use prior-weighted tomogravity (sparse LSQR fast path)")
 		wDense    = fs.Bool("weighted-dense", false, "force the legacy dense per-bin SVD for the weighted step (reference; markedly slower)")
 		linkNoise = fs.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
+		flaps     = fs.Int("flaps", 0, `link-flap events scheduled over the estimated week ("isp" family only; 0 = steady topology)`)
 		workers   = fs.Int("workers", 0, "concurrent workers for generation, fitting and estimation (0 = all CPUs, 1 = sequential); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,7 +64,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-dense applies to the unweighted step and is incompatible with -weighted/-weighted-dense")
 	}
 	if *scenario != "isp" {
-		cliflag.WarnIgnored(fs, stderr, "icest", fmt.Sprintf("with -scenario %s", *scenario), "n")
+		cliflag.WarnIgnored(fs, stderr, "icest", fmt.Sprintf("with -scenario %s", *scenario), "n", "flaps")
+	}
+	if *flaps < 0 {
+		return fmt.Errorf("-flaps must be non-negative, got %d", *flaps)
 	}
 	var sc synth.Scenario
 	switch *scenario {
@@ -184,5 +190,87 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stdout, "calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)
+
+	if *flaps > 0 && *scenario == "isp" {
+		return flapReport(stdout, stderr, sc, target, g, rm, estimator, priors, results, *flaps)
+	}
+	return nil
+}
+
+// flapReport re-estimates the target week under a deterministic
+// failure/maintenance schedule: during each event's window one
+// bidirectional link is out of service, the routing matrix is patched
+// incrementally (routing.Patch) and the estimation session rebased onto
+// it (Estimator.Rebase) — the live-mutation path the service uses,
+// never a from-scratch rebuild. The truth traffic is unchanged; only
+// the measurements move with the reroute. The report compares each
+// prior's steady-topology error against its error through the flaps.
+func flapReport(stdout, stderr io.Writer, sc synth.Scenario, target *tm.Series,
+	g *topology.Graph, rm *routing.Matrix, base *estimation.Estimator,
+	priors []estimation.Prior, steady map[string]*estimation.SeriesResult, k int) error {
+	sched, err := synth.GenerateFlaps(sc, g, k)
+	if err != nil {
+		return fmt.Errorf("flap schedule: %w", err)
+	}
+	fmt.Fprintf(stderr, "icest: flapping %d links across the target week\n", k)
+
+	cur, curEst := rm, base
+	var curEv synth.FlapEvent
+	haveEv := false
+	downBins := 0
+	flapErrs := make(map[string][]float64, len(priors))
+	for tb := 0; tb < target.Len(); tb++ {
+		// The schedule spans one week; fold longer targets onto it.
+		ev, ok := sched.EventAt(tb % sc.BinsPerWeek)
+		switch {
+		case ok && (!haveEv || ev != curEv):
+			pm, _, err := routing.Patch(rm, g, ev.Down())
+			if err != nil {
+				return fmt.Errorf("flap bin %d: patch: %w", tb, err)
+			}
+			pe, err := base.Rebase(pm)
+			if err != nil {
+				return fmt.Errorf("flap bin %d: rebase: %w", tb, err)
+			}
+			cur, curEst, curEv, haveEv = pm, pe, ev, true
+		case !ok && haveEv:
+			cur, curEst, haveEv = rm, base, false
+		}
+		if ok {
+			downBins++
+		}
+		x := target.At(tb)
+		y, err := cur.LinkLoads(x)
+		if err != nil {
+			return fmt.Errorf("flap bin %d: link loads: %w", tb, err)
+		}
+		for _, p := range priors {
+			est, _, err := curEst.EstimateBin(p, tb, y)
+			if err != nil {
+				return fmt.Errorf("flap bin %d: prior %q: %w", tb, p.Name(), err)
+			}
+			rel, err := tm.RelL2(x, est)
+			if err != nil {
+				return fmt.Errorf("flap bin %d: prior %q: %w", tb, p.Name(), err)
+			}
+			flapErrs[p.Name()] = append(flapErrs[p.Name()], rel)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nflap dynamics: %d events, %d/%d degraded bins\n", k, downBins, target.Len())
+	fmt.Fprintf(stdout, "%-14s %-14s %-14s %s\n", "prior", "steady RelL2", "flapped RelL2", "degradation")
+	for _, p := range priors {
+		sMean, _ := stats.FiniteMean(steady[p.Name()].Errors)
+		fMean, dropped := stats.FiniteMean(flapErrs[p.Name()])
+		ratio := 0.0
+		if sMean != 0 {
+			ratio = fMean / sMean
+		}
+		fmt.Fprintf(stdout, "%-14s %-14.4f %-14.4f %.3fx\n", p.Name(), sMean, fMean, ratio)
+		if dropped > 0 {
+			fmt.Fprintf(stderr, "icest: flapped prior %q: %d non-finite error bins excluded from the mean\n",
+				p.Name(), dropped)
+		}
+	}
 	return nil
 }

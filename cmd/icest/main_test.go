@@ -27,6 +27,9 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-weeks", "1"}, &out, &errBuf); err == nil {
 		t.Error("fewer than 2 weeks must fail")
 	}
+	if err := run([]string{"-flaps", "-1"}, &out, &errBuf); err == nil {
+		t.Error("negative -flaps must fail")
+	}
 }
 
 // TestRunTinyEndToEnd drives the full comparison at the smallest usable
@@ -70,6 +73,37 @@ func TestRunGoldenGeant(t *testing.T) {
 	}
 	if got := out.String(); got != string(want) {
 		t.Errorf("report drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestRunGoldenISPFlap pins the flap-dynamics report: the isp run with
+// a two-event failure schedule over the target week, estimated through
+// the incremental patch + rebase path. Like the Geant golden this is a
+// byte-exact regression snapshot — of the whole delta pipeline
+// (topology.Apply, routing.Patch, Estimator.Rebase) this time, since
+// the flapped numbers flow through it. Regenerate with -update.
+func TestRunGoldenISPFlap(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scenario", "isp", "-n", "12", "-scale", "0.01", "-weeks", "2", "-flaps", "2"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flap dynamics: 2 events") {
+		t.Fatalf("report missing flap section:\n%s", out.String())
+	}
+	golden := filepath.Join("testdata", "golden_isp_flap.txt")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("flap report drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", got, want)
 	}
 }
 
@@ -174,6 +208,11 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 		{"n with geant", []string{"-scenario", "geant", "-n", "50", "-scale", "0.01", "-weeks", "2"},
 			"icest: warning: -n is ignored with -scenario geant"},
 		{"n with isp", []string{"-scenario", "isp", "-n", "12", "-scale", "0.01", "-weeks", "2"}, ""},
+		{"flaps with geant", []string{"-scenario", "geant", "-flaps", "1", "-scale", "0.01", "-weeks", "2"},
+			"icest: warning: -flaps is ignored with -scenario geant"},
+		{"flaps with totem", []string{"-scenario", "totem", "-flaps", "1", "-scale", "0.01", "-weeks", "2"},
+			"icest: warning: -flaps is ignored with -scenario totem"},
+		{"flaps with isp", []string{"-scenario", "isp", "-n", "12", "-flaps", "1", "-scale", "0.01", "-weeks", "2"}, ""},
 	}
 	for _, tc := range cases {
 		var out, errBuf bytes.Buffer

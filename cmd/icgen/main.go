@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		f        = fs.Float64("f", 0.25, "custom: mean forward ratio")
 		seed     = fs.Uint64("seed", 1, "custom: random seed")
 		pure     = fs.Bool("pure", false, "generate exactly IC-structured matrices (the paper's §5.5 recipe) instead of noisy evaluation ground truth")
+		flaps    = fs.Int("flaps", 0, `isp: link-flap events to schedule over one week (0 = none; requires -flap-out)`)
+		flapOut  = fs.String("flap-out", "", `isp: write the flap schedule as JSON to this file ("-" = stdout)`)
 		format   = fs.String("format", "csv", `output format: "csv" or "json"`)
 		out      = fs.String("out", "-", `output file ("-" = stdout)`)
 		workers  = fs.Int("workers", 0, "concurrent generation workers (0 = all CPUs, 1 = sequential); output is identical for any value")
@@ -62,8 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-pure is incompatible with -scenario presets")
 		}
 		// The pure recipe path generates sequentially (tmgen has no
-		// worker fan-out).
-		cliflag.WarnIgnored(fs, stderr, "icgen", "with -pure", "workers")
+		// worker fan-out) and has no topology to flap.
+		cliflag.WarnIgnored(fs, stderr, "icgen", "with -pure", "workers", "flaps", "flap-out")
 		recipe := tmgen.Recipe{
 			N:          *n,
 			T:          *bins * maxInt(*weeks, 1),
@@ -89,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// seed from the paper's datasets; only -bins (rate reduction) and
 		// -weeks (truncation/extension) apply. Conflicting flags warn
 		// instead of being silently ignored.
-		cliflag.WarnIgnored(fs, stderr, "icgen", fmt.Sprintf("with -scenario %s", *scenario), "n", "f", "seed")
+		cliflag.WarnIgnored(fs, stderr, "icgen", fmt.Sprintf("with -scenario %s", *scenario), "n", "f", "seed", "flaps", "flap-out")
 		if *scenario == "geant" {
 			sc = synth.GeantLike()
 		} else {
@@ -99,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cliflag.WarnIgnored(fs, stderr, "icgen", "with -scenario isp", "f", "seed")
 		sc = synth.ISPLike(*n)
 	case "":
+		cliflag.WarnIgnored(fs, stderr, "icgen", "for custom scenarios", "flaps", "flap-out")
 		sc = synth.GeantLike()
 		sc.Name = "custom"
 		sc.N = *n
@@ -130,6 +133,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "icgen: %s: n=%d bins=%d total=%d written\n",
 		sc.Name, d.Series.N(), d.Series.Len(), d.Series.N()*d.Series.N()*d.Series.Len())
+
+	if *scenario == "isp" && *flaps > 0 {
+		if *flapOut == "" {
+			return fmt.Errorf("-flaps needs -flap-out (the schedule is a separate JSON artifact)")
+		}
+		g, err := sc.Topology().Build()
+		if err != nil {
+			return fmt.Errorf("flap topology: %w", err)
+		}
+		sched, err := synth.GenerateFlaps(sc, g, *flaps)
+		if err != nil {
+			return fmt.Errorf("flap schedule: %w", err)
+		}
+		if err := writeFlapSchedule(sched, *flapOut, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "icgen: %s: %d flap events written\n", sc.Name, len(sched.Events))
+	} else if *scenario == "isp" {
+		cliflag.WarnIgnored(fs, stderr, "icgen", "without -flaps", "flap-out")
+	}
+	return nil
+}
+
+// writeFlapSchedule emits the schedule as indented JSON to the file (or
+// stdout for "-").
+func writeFlapSchedule(sched synth.FlapSchedule, out string, stdout io.Writer) (err error) {
+	w := stdout
+	if out != "-" {
+		file, cerr := os.Create(out)
+		if cerr != nil {
+			return fmt.Errorf("create %s: %w", out, cerr)
+		}
+		defer func() {
+			if cerr := file.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", out, cerr)
+			}
+		}()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sched); err != nil {
+		return fmt.Errorf("write flap schedule: %w", err)
+	}
 	return nil
 }
 

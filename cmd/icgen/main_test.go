@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ictm/internal/synth"
 )
 
 func TestRunBadFlags(t *testing.T) {
@@ -90,6 +94,57 @@ func TestRunISPScenario(t *testing.T) {
 	}
 }
 
+// TestRunFlapSchedule: -flaps writes a decodable, deterministic JSON
+// schedule next to the series, and -flaps without -flap-out is an
+// error (the schedule must not be silently dropped).
+func TestRunFlapSchedule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flaps.json")
+	args := []string{"-scenario", "isp", "-n", "12", "-bins", "14", "-weeks", "1", "-out", "-", "-flaps", "2", "-flap-out", path}
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "2 flap events written") {
+		t.Errorf("progress log missing flap count:\n%s", errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched synth.FlapSchedule
+	if err := json.Unmarshal(data, &sched); err != nil {
+		t.Fatalf("schedule not decodable: %v", err)
+	}
+	if len(sched.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(sched.Events))
+	}
+	for _, ev := range sched.Events {
+		if ev.StartBin < 0 || ev.EndBin > 14 || ev.StartBin >= ev.EndBin || ev.W <= 0 {
+			t.Errorf("malformed event %+v", ev)
+		}
+	}
+
+	// Identical inputs, identical bytes.
+	path2 := filepath.Join(t.TempDir(), "flaps2.json")
+	args2 := []string{"-scenario", "isp", "-n", "12", "-bins", "14", "-weeks", "1", "-out", "-", "-flaps", "2", "-flap-out", path2}
+	var out2, errBuf2 bytes.Buffer
+	if err := run(args2, &out2, &errBuf2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("flap schedule not deterministic across runs")
+	}
+
+	var out3, errBuf3 bytes.Buffer
+	if err := run([]string{"-scenario", "isp", "-n", "12", "-bins", "14", "-weeks", "1", "-flaps", "2"}, &out3, &errBuf3); err == nil {
+		t.Error("-flaps without -flap-out must fail")
+	}
+}
+
 // TestRunWarnsIgnoredFlags is the icgen rows of the cross-tool
 // flag-consistency contract: flags a preset or mode ignores must warn on
 // stderr (while -bins deliberately keeps overriding presets, and the
@@ -121,6 +176,22 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 			[]string{"-pure", "-n", "5", "-bins", "14", "-workers", "4"},
 			[]string{"-workers is ignored with -pure"},
 			nil},
+		{"preset ignores flaps",
+			[]string{"-scenario", "geant", "-bins", "14", "-weeks", "1", "-flaps", "2", "-flap-out", "unused.json"},
+			[]string{"-flaps is ignored with -scenario geant", "-flap-out is ignored with -scenario geant"},
+			nil},
+		{"custom ignores flaps",
+			[]string{"-n", "5", "-bins", "14", "-weeks", "1", "-flaps", "1", "-flap-out", "unused.json"},
+			[]string{"-flaps is ignored for custom scenarios", "-flap-out is ignored for custom scenarios"},
+			nil},
+		{"pure ignores flaps",
+			[]string{"-pure", "-n", "5", "-bins", "14", "-flaps", "1", "-flap-out", "unused.json"},
+			[]string{"-flaps is ignored with -pure", "-flap-out is ignored with -pure"},
+			nil},
+		{"flap-out without flaps",
+			[]string{"-scenario", "isp", "-n", "8", "-bins", "14", "-weeks", "1", "-flap-out", "unused.json"},
+			[]string{"-flap-out is ignored without -flaps"},
+			[]string{"-flaps is ignored"}},
 	}
 	for _, tc := range cases {
 		var out, errBuf bytes.Buffer

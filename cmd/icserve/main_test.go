@@ -20,6 +20,7 @@ import (
 	"ictm/internal/routing"
 	"ictm/internal/serve"
 	"ictm/internal/synth"
+	"ictm/internal/topology"
 )
 
 // update rewrites the golden files (and the checked-in smoke request the
@@ -248,6 +249,9 @@ func TestServeEndToEndBitwise(t *testing.T) {
 // bit for bit.
 func checkBitwise(t *testing.T, workers int, proto string, got serve.Estimate, want []float64, wantDiag estimation.BinDiag) {
 	t.Helper()
+	// LSQRIterations never crosses the wire (json:"-"); the decoded diag
+	// always carries zero there.
+	wantDiag.LSQRIterations = 0
 	if got.Diag != wantDiag {
 		t.Fatalf("workers=%d %s: diag %+v, want %+v", workers, proto, got.Diag, wantDiag)
 	}
@@ -529,6 +533,102 @@ func TestServiceSmokeV2Golden(t *testing.T) {
 	want := read(goldenPath)
 	if !bytes.Equal(body, want) {
 		t.Errorf("v2 response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
+	}
+}
+
+// TestServiceSmokePatchGolden pins the exact bytes of the v2 topology
+// PATCH flow on checked-in smoke files — the same files CI's
+// service-smoke step replays with curl against the built binary: PUT
+// the GeantLike topology, PATCH it with a checked-in single-link
+// failure delta, and byte-compare the PatchResult. The derived key is
+// a deterministic content hash of the patched topology, so the whole
+// response is golden-able. Regenerate deliberately with -update.
+func TestServiceSmokePatchGolden(t *testing.T) {
+	topoPath := filepath.Join("testdata", "smoke_v2_topology.json")
+	patchPath := filepath.Join("testdata", "smoke_v2_patch.json")
+	goldenPath := filepath.Join("testdata", "golden_smoke_v2_patch_response.json")
+
+	url, stopSrv := startServer(t, "-workers", "2")
+
+	if *update {
+		// The delta must keep the graph connected: take the first
+		// bidirectional link whose two-direction removal does.
+		sc, _ := geantBin(t)
+		g, err := sc.Topology().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var delta topology.Delta
+		for _, e := range g.Edges() {
+			if e.From >= e.To {
+				continue
+			}
+			d := topology.Delta{Ops: []topology.DeltaOp{
+				{Op: topology.OpRemove, From: e.From, To: e.To},
+				{Op: topology.OpRemove, From: e.To, To: e.From},
+			}}
+			if ng, _, err := g.Apply(d); err == nil && ng.Connected() {
+				delta = d
+				break
+			}
+		}
+		if len(delta.Ops) == 0 {
+			t.Fatal("no removable link in the smoke topology")
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(delta); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(patchPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	read := func(path string) []byte {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s (regenerate with -update): %v", path, err)
+		}
+		return data
+	}
+	topoBody, patchBody := read(topoPath), read(patchPath)
+
+	resp := putSpec(t, url+"/v2/topologies/geant", topoBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodPatch, url+"/v2/topologies/geant", bytes.NewReader(patchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status %d: %s", resp.StatusCode, body)
+	}
+	if err := stopSrv(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want := read(goldenPath)
+	if !bytes.Equal(body, want) {
+		t.Errorf("PATCH response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
 	}
 }
 

@@ -192,6 +192,32 @@ var (
 	BuildRouting = routing.Build
 )
 
+// Live topology mutation: deltas, incremental routing updates, and
+// failure/maintenance schedules.
+type (
+	// TopologyDelta is an ordered batch of link mutations (add, remove,
+	// reweight) applied with Graph.Apply or PatchRouting.
+	TopologyDelta = topology.Delta
+	// TopologyDeltaOp is one mutation of a TopologyDelta.
+	TopologyDeltaOp = topology.DeltaOp
+	// FlapEvent is one scheduled link outage window; FlapSchedule a
+	// week's worth of them.
+	FlapEvent = synth.FlapEvent
+	// FlapSchedule is a deterministic failure/maintenance schedule.
+	FlapSchedule = synth.FlapSchedule
+)
+
+var (
+	// PatchRouting updates a routing matrix for a topology delta
+	// incrementally — bit-identical to BuildRouting on the mutated
+	// graph, recomputing only the OD pairs the delta touches. Pair it
+	// with Estimator.Rebase to move a live estimation session onto the
+	// new topology.
+	PatchRouting = routing.Patch
+	// GenerateFlaps schedules link-flap events over one scenario week.
+	GenerateFlaps = synth.GenerateFlaps
+)
+
 // TM estimation.
 type (
 	// Prior produces a starting matrix per bin for TM estimation.

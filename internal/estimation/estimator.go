@@ -2,6 +2,7 @@ package estimation
 
 import (
 	"fmt"
+	"sync"
 
 	"ictm/internal/parallel"
 	"ictm/internal/routing"
@@ -25,6 +26,37 @@ import (
 type Estimator struct {
 	solver *Solver
 	opts   Options
+	// reg records the session's registered priors (state + instance) so
+	// Rebase can carry them onto a new routing substrate. Shared across
+	// With-derived estimators: they are one session over one solver.
+	reg *priorRegistry
+}
+
+// registeredPrior pairs a prior's serialized calibration state with the
+// instance RegisterPrior produced from it.
+type registeredPrior struct {
+	state PriorState
+	prior Prior
+}
+
+// priorRegistry is the mutable part of an estimation session: the priors
+// registered so far. Guarded by a mutex because RegisterPrior may be
+// called concurrently with estimation traffic.
+type priorRegistry struct {
+	mu   sync.Mutex
+	regs []registeredPrior
+}
+
+func (r *priorRegistry) add(state PriorState, p Prior) {
+	r.mu.Lock()
+	r.regs = append(r.regs, registeredPrior{state: state, prior: p})
+	r.mu.Unlock()
+}
+
+func (r *priorRegistry) snapshot() []registeredPrior {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]registeredPrior(nil), r.regs...)
 }
 
 // Option configures an Estimator at construction (NewEstimator) or
@@ -97,7 +129,7 @@ func NewEstimator(rm *routing.Matrix, opts ...Option) (*Estimator, error) {
 // newEstimatorWithSolver wraps an existing (cached) solver; it backs the
 // deprecated with-solver wrappers and Engine-style solver pools.
 func newEstimatorWithSolver(solver *Solver, opts ...Option) *Estimator {
-	e := &Estimator{solver: solver}
+	e := &Estimator{solver: solver, reg: &priorRegistry{}}
 	for _, o := range opts {
 		o(&e.opts)
 	}
@@ -109,7 +141,7 @@ func newEstimatorWithSolver(solver *Solver, opts ...Option) *Estimator {
 // settings (weighted projection, SkipIPF, workers) over one pooled
 // routing factorization. The receiver is not modified.
 func (e *Estimator) With(opts ...Option) *Estimator {
-	d := &Estimator{solver: e.solver, opts: e.opts}
+	d := &Estimator{solver: e.solver, opts: e.opts, reg: e.reg}
 	for _, o := range opts {
 		o(&d.opts)
 	}
@@ -132,9 +164,65 @@ func (e *Estimator) Solver() *Solver { return e.solver }
 // RegisterPrior validates serialized calibration state against the
 // session's network size and returns the instantiated prior — the
 // register-once handle the Estimate*/Compare methods accept. A
-// malformed state fails here, not inside the first estimated bin.
+// malformed state fails here, not inside the first estimated bin. The
+// registration is remembered by the session (shared with With-derived
+// estimators), so Rebase can carry it onto a new routing substrate.
 func (e *Estimator) RegisterPrior(state PriorState) (Prior, error) {
-	return state.Prior(e.N())
+	p, err := state.Prior(e.N())
+	if err != nil {
+		return nil, err
+	}
+	e.reg.add(state, p)
+	return p, nil
+}
+
+// RegisteredPriors returns the session's registered priors in
+// registration order — after a Rebase, the handles valid against the
+// new substrate.
+func (e *Estimator) RegisteredPriors() []Prior {
+	regs := e.reg.snapshot()
+	out := make([]Prior, len(regs))
+	for i, r := range regs {
+		out[i] = r.prior
+	}
+	return out
+}
+
+// Rebase returns an estimator for a new routing matrix that preserves
+// everything else about this session: the configured options and every
+// registered prior. It is the estimation layer's half of a live
+// topology change — routing.Patch produces the new matrix, Rebase puts
+// the session on top of it without re-shipping calibration state.
+//
+// When the node count is unchanged (the usual case: link failures and
+// reweightings), registered prior instances are reused as-is — their
+// O(n²) calibration backing (fanout matrices, preference vectors) is
+// still valid, so no state is re-parsed and no buffers are rebuilt.
+// When n changes, each recorded state is re-validated and
+// re-instantiated against the new size; a state that no longer fits
+// (e.g. a fanout matrix of the old n) fails here, named, instead of
+// inside the first estimated bin.
+//
+// Estimates from the rebased session are bit-identical to those of a
+// fresh NewEstimator on the same matrix with the same options and
+// priors: the session carries no solver state across the rebase.
+func (e *Estimator) Rebase(rm *routing.Matrix) (*Estimator, error) {
+	solver, err := NewSolver(rm)
+	if err != nil {
+		return nil, err
+	}
+	d := &Estimator{solver: solver, opts: e.opts, reg: &priorRegistry{}}
+	sameN := rm.N == e.N()
+	for _, r := range e.reg.snapshot() {
+		p := r.prior
+		if !sameN {
+			if p, err = r.state.Prior(rm.N); err != nil {
+				return nil, fmt.Errorf("estimation: rebase prior %q: %w", r.prior.Name(), err)
+			}
+		}
+		d.reg.regs = append(d.reg.regs, registeredPrior{state: r.state, prior: p})
+	}
+	return d, nil
 }
 
 // EstimateBin runs the full three-step pipeline for one bin: prior →
@@ -216,6 +304,7 @@ func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult
 		if r.Diag.ProjectStalled {
 			out.Stats.ProjectStalls++
 		}
+		out.Stats.LSQRIterationsTotal += r.Diag.LSQRIterations
 	}
 	return out, nil
 }

@@ -92,6 +92,14 @@ type BinDiag struct {
 	// scale, and from the almost-converged iterate otherwise (see
 	// Solver.ProjectReport).
 	ProjectStalled bool `json:"project_stalled,omitempty"`
+	// LSQRIterations is the number of LSQR iterations the bin's
+	// projection consumed (0 on the dense reference paths, which run no
+	// iterative solve). It is the per-bin convergence cost — worth
+	// watching as topologies mutate, since a patched routing matrix that
+	// suddenly converges slowly signals an ill-conditioned network.
+	// Deliberately excluded from the wire form: the service aggregates it
+	// in its stats instead, keeping v1/v2 response bytes stable.
+	LSQRIterations int `json:"-"`
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -122,6 +130,10 @@ type RunStats struct {
 	// worth surfacing: those bins either paid for the dense reference or
 	// carry an almost-converged estimate.
 	ProjectStalls int
+	// LSQRIterationsTotal sums the LSQR iterations consumed across all
+	// bins (BinDiag.LSQRIterations): total iterative-solver work, and —
+	// divided by Bins — the mean iterations-to-converge of the run.
+	LSQRIterationsTotal int
 }
 
 // EstimateBin runs the full three-step pipeline for one bin.
@@ -155,11 +167,11 @@ func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 	case opts.WeightedDense: // implies Weighted
 		est, err = s.ProjectWeightedDense(p, y)
 	case opts.Weighted:
-		est, diag.WeightedDenseFallback, err = s.ProjectWeightedReport(p, y)
+		est, diag.WeightedDenseFallback, diag.LSQRIterations, err = s.ProjectWeightedReport(p, y)
 	case opts.Dense:
 		est, err = s.ProjectDense(p, y)
 	default:
-		est, diag.ProjectStalled, err = s.ProjectReport(p, y)
+		est, diag.ProjectStalled, diag.LSQRIterations, err = s.ProjectReport(p, y)
 	}
 	if err != nil {
 		return nil, diag, fmt.Errorf("estimation: project bin %d: %w", t, err)

@@ -1,0 +1,188 @@
+package estimation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ictm/internal/routing"
+	"ictm/internal/synth"
+	"ictm/internal/topology"
+)
+
+// TestRebaseMatchesFresh is the estimation half of the patched-equals-
+// rebuilt invariant: after a topology delta, a rebased session produces
+// estimates bit-identical to a fresh Estimator built on the rebuilt
+// matrix with re-registered priors — for both the sequential and the
+// parallel worker settings.
+func TestRebaseMatchesFresh(t *testing.T) {
+	sc := synth.ISPLike(12)
+	sc.BinsPerWeek = 10
+	sc.Weeks = 1
+	g, err := topology.BackboneStub(sc.N, 0, sc.Seed)
+	if err != nil {
+		t.Fatalf("BackboneStub: %v", err)
+	}
+	m, err := routing.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ds, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	truth := ds.Series
+
+	// Find a removable bidirectional link that keeps the graph connected.
+	var down topology.Delta
+	found := false
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue
+		}
+		d := topology.Delta{Ops: []topology.DeltaOp{
+			{Op: topology.OpRemove, From: e.From, To: e.To},
+			{Op: topology.OpRemove, From: e.To, To: e.From},
+		}}
+		if ng, _, err := g.Apply(d); err == nil && ng.Connected() {
+			down, found = d, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no safely removable link in test topology")
+	}
+
+	states := []PriorState{
+		{Name: "gravity"},
+		{Name: "ic-stable-f", F: 0.4},
+	}
+	for _, workers := range []int{1, 8} {
+		base, err := NewEstimator(m, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("NewEstimator: %v", err)
+		}
+		var basePriors []Prior
+		for _, st := range states {
+			p, err := base.RegisterPrior(st)
+			if err != nil {
+				t.Fatalf("RegisterPrior(%s): %v", st.Name, err)
+			}
+			basePriors = append(basePriors, p)
+		}
+
+		pm, _, err := routing.Patch(m, g, down)
+		if err != nil {
+			t.Fatalf("Patch: %v", err)
+		}
+		rebased, err := base.Rebase(pm)
+		if err != nil {
+			t.Fatalf("Rebase: %v", err)
+		}
+		if got := rebased.RegisteredPriors(); len(got) != len(states) {
+			t.Fatalf("rebased session carries %d priors, want %d", len(got), len(states))
+		}
+		// Same n: instances must be reused, not rebuilt.
+		for i, p := range rebased.RegisteredPriors() {
+			if p != basePriors[i] {
+				t.Fatalf("prior %d not reused across same-n rebase", i)
+			}
+		}
+
+		mg, _, err := g.Apply(down)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		rm, err := routing.Build(mg)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		fresh, err := NewEstimator(rm, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("fresh NewEstimator: %v", err)
+		}
+		for i, st := range states {
+			rp := rebased.RegisteredPriors()[i]
+			fp, err := fresh.RegisterPrior(st)
+			if err != nil {
+				t.Fatalf("fresh RegisterPrior(%s): %v", st.Name, err)
+			}
+			rr, err := rebased.EstimateSeries(truth, rp)
+			if err != nil {
+				t.Fatalf("rebased EstimateSeries(%s): %v", st.Name, err)
+			}
+			fr, err := fresh.EstimateSeries(truth, fp)
+			if err != nil {
+				t.Fatalf("fresh EstimateSeries(%s): %v", st.Name, err)
+			}
+			if rr.Stats != fr.Stats {
+				t.Fatalf("workers=%d prior=%s: stats %+v vs %+v", workers, st.Name, rr.Stats, fr.Stats)
+			}
+			for tb := 0; tb < truth.Len(); tb++ {
+				rv := rr.Estimates.At(tb).Vec()
+				fv := fr.Estimates.At(tb).Vec()
+				for k := range rv {
+					if math.Float64bits(rv[k]) != math.Float64bits(fv[k]) {
+						t.Fatalf("workers=%d prior=%s bin %d entry %d: rebased %x vs fresh %x",
+							workers, st.Name, tb, k, math.Float64bits(rv[k]), math.Float64bits(fv[k]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRebaseRevalidatesAcrossN(t *testing.T) {
+	g, err := topology.BackboneStub(12, 0, 7)
+	if err != nil {
+		t.Fatalf("BackboneStub: %v", err)
+	}
+	m, err := routing.Build(g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	est, err := NewEstimator(m)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	// A size-dependent prior (pref vector of 12) and a size-free one.
+	pref := make([]float64, 12)
+	for i := range pref {
+		pref[i] = 1
+	}
+	if _, err := est.RegisterPrior(PriorState{Name: "gravity"}); err != nil {
+		t.Fatalf("RegisterPrior(gravity): %v", err)
+	}
+	if _, err := est.RegisterPrior(PriorState{Name: "ic-stable-fP", F: 0.4, Pref: pref}); err != nil {
+		t.Fatalf("RegisterPrior(fP): %v", err)
+	}
+
+	g16, err := topology.BackboneStub(16, 0, 7)
+	if err != nil {
+		t.Fatalf("BackboneStub(16): %v", err)
+	}
+	m16, err := routing.Build(g16)
+	if err != nil {
+		t.Fatalf("Build(16): %v", err)
+	}
+	// The 12-node pref vector cannot be re-validated against n=16.
+	if _, err := est.Rebase(m16); !errors.Is(err, ErrInput) {
+		t.Fatalf("Rebase across n: err = %v, want ErrInput", err)
+	}
+
+	// With only size-free priors, a cross-n rebase re-instantiates them.
+	est2, err := NewEstimator(m)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if _, err := est2.RegisterPrior(PriorState{Name: "gravity"}); err != nil {
+		t.Fatalf("RegisterPrior: %v", err)
+	}
+	reb, err := est2.Rebase(m16)
+	if err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+	if reb.N() != 16 || len(reb.RegisteredPriors()) != 1 {
+		t.Fatalf("rebased n=%d priors=%d", reb.N(), len(reb.RegisteredPriors()))
+	}
+}

@@ -110,7 +110,7 @@ func (s *Solver) unweightedSetup(prior *tm.TrafficMatrix, y []float64) ([]float6
 // small negative entries; the caller is expected to clamp and re-balance
 // (see EstimateBin).
 func (s *Solver) Project(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
-	est, _, err := s.ProjectReport(prior, y)
+	est, _, _, err := s.ProjectReport(prior, y)
 	return est, err
 }
 
@@ -133,27 +133,33 @@ const denseFallbackMaxFlops = 5e7
 // from LSQR's almost-converged minimum-norm iterate otherwise. Either
 // way the stall is reported, so the pipeline can count it
 // (BinDiag/RunStats) instead of hiding a quality or cost surprise.
-func (s *Solver) ProjectReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, stalled bool, err error) {
+//
+// iters is the number of LSQR iterations the bin consumed — the
+// per-bin convergence cost, surfaced so operators can watch it drift as
+// topologies mutate (BinDiag.LSQRIterations, RunStats, service stats).
+// It counts the iterative work even when a stall escalated the estimate
+// to the dense reference.
+func (s *Solver) ProjectReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, stalled bool, iters int, err error) {
 	res, err := s.unweightedSetup(prior, y)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	csr := s.rm.CSR()
 	z, rep, err := linalg.LSQR(csr, res, linalg.LSQROptions{})
 	if err != nil {
-		return nil, false, fmt.Errorf("estimation: projection: %w", err)
+		return nil, false, 0, fmt.Errorf("estimation: projection: %w", err)
 	}
 	rows := float64(csr.Rows())
 	if !rep.Converged && rows*rows*float64(csr.Cols()) <= denseFallbackMaxFlops {
 		est, err := s.ProjectDense(prior, y)
-		return est, true, err
+		return est, true, rep.Iterations, err
 	}
 	out := prior.Clone()
 	ov := out.Vec()
 	for i := range ov {
 		ov[i] += z[i]
 	}
-	return out, !rep.Converged, nil
+	return out, !rep.Converged, rep.Iterations, nil
 }
 
 // ProjectDense is the dense reference implementation of Project: it
@@ -257,7 +263,7 @@ func (s *Solver) weightedSetup(prior *tm.TrafficMatrix, y []float64) (res, sqrtw
 // weighting reproduces Zhang et al.'s observation that corrections
 // should scale with flow size.
 func (s *Solver) ProjectWeighted(prior *tm.TrafficMatrix, y []float64) (*tm.TrafficMatrix, error) {
-	est, _, err := s.ProjectWeightedReport(prior, y)
+	est, _, _, err := s.ProjectWeightedReport(prior, y)
 	return est, err
 }
 
@@ -267,27 +273,28 @@ func (s *Solver) ProjectWeighted(prior *tm.TrafficMatrix, y []float64) (*tm.Traf
 // priors) can stall LSQR near the rounding floor; falling back per bin
 // preserves the pre-LSQR guarantee that every weighted bin produces an
 // estimate, and the flag lets the pipeline count fallbacks (RunStats)
-// instead of hiding a 500x per-bin slowdown.
-func (s *Solver) ProjectWeightedReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, fellBackDense bool, err error) {
+// instead of hiding a 500x per-bin slowdown. iters reports the LSQR
+// iterations consumed, as in ProjectReport.
+func (s *Solver) ProjectWeightedReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, fellBackDense bool, iters int, err error) {
 	res, sqrtw, err := s.weightedSetup(prior, y)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	op := linalg.NewColScaled(s.rm.CSR(), sqrtw)
 	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
 	if err != nil {
-		return nil, false, fmt.Errorf("estimation: weighted projection: %w", err)
+		return nil, false, 0, fmt.Errorf("estimation: weighted projection: %w", err)
 	}
 	if !rep.Converged {
 		est, err := s.ProjectWeightedDense(prior, y)
-		return est, true, err
+		return est, true, rep.Iterations, err
 	}
 	out := prior.Clone()
 	ov := out.Vec()
 	for i := range ov {
 		ov[i] += sqrtw[i] * z[i]
 	}
-	return out, false, nil
+	return out, false, rep.Iterations, nil
 }
 
 // ProjectWeightedDense is the legacy dense path of ProjectWeighted: it

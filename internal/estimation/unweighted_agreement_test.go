@@ -70,9 +70,12 @@ func TestProjectLSQRMatchesDenseRandomized(t *testing.T) {
 					y[i] *= 1 + 0.05*v()
 				}
 			}
-			fast, fellBack, err := solver.ProjectReport(p.Clone(), y)
+			fast, fellBack, iters, err := solver.ProjectReport(p.Clone(), y)
 			if err != nil {
 				t.Fatalf("seed %d bin %d: lsqr: %v", seed, tb, err)
+			}
+			if iters <= 0 {
+				t.Fatalf("seed %d bin %d: reported %d LSQR iterations", seed, tb, iters)
 			}
 			if fellBack {
 				// A fallback would make the agreement vacuous (dense vs

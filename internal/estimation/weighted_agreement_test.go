@@ -65,9 +65,12 @@ func TestProjectWeightedLSQRMatchesDense(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				fast, fellBack, err := solver.ProjectWeightedReport(prior.Clone(), y)
+				fast, fellBack, iters, err := solver.ProjectWeightedReport(prior.Clone(), y)
 				if err != nil {
 					t.Fatalf("bin %d: lsqr: %v", tb, err)
+				}
+				if iters <= 0 {
+					t.Fatalf("bin %d: reported %d LSQR iterations", tb, iters)
 				}
 				if fellBack {
 					// A fallback would make the agreement below vacuous

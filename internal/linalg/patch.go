@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// RowEntries returns the stored column indices and values of row i as
+// views into the matrix's backing arrays (do not mutate). Columns are in
+// increasing order, the CSR invariant. It is the read side of the
+// patching primitives: routing.Patch scans old rows through it to decide
+// which stored entries a topology delta touches.
+func (s *Sparse) RowEntries(i int) ([]int, []float64) {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	return s.colIdx[lo:hi], s.val[lo:hi]
+}
+
+// Equal reports whether the two matrices have identical shape and
+// bitwise-identical stored entries (same rows, cols, row extents, column
+// indices, and float bit patterns, so NaN payloads and signed zeros are
+// distinguished). It is the assertion backing the patched-equals-rebuilt
+// invariant of routing.Patch.
+func (s *Sparse) Equal(o *Sparse) bool {
+	if s.rows != o.rows || s.cols != o.cols || len(s.val) != len(o.val) {
+		return false
+	}
+	for i := 0; i <= s.rows; i++ {
+		if s.rowPtr[i] != o.rowPtr[i] {
+			return false
+		}
+	}
+	for k := range s.val {
+		if s.colIdx[k] != o.colIdx[k] || math.Float64bits(s.val[k]) != math.Float64bits(o.val[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PatchRows builds a rows×cols matrix by reusing the receiver's rows
+// wholesale and editing only where a change is declared — the
+// copy-on-write path that lets a routing matrix absorb a topology delta
+// without full reassembly.
+//
+// srcRow maps each output row to the receiver row it carries entries
+// from (-1 starts the row empty). drop, if non-nil, filters the carried
+// entries: a stored entry of source row src at column col is omitted
+// when drop(src, col) is true. add lists extra entries per output row
+// (nil for none): each add[r] must hold entries of Row r with strictly
+// increasing in-range columns; zero-valued adds are dropped, matching
+// NewSparse. An add column colliding with a surviving carried entry is a
+// duplicate, exactly as in NewSparse.
+//
+// The output is bit-identical to NewSparse over the equivalent entry
+// set — same canonical ordering, same dropped zeros — in O(nnz) with no
+// sorting, because carried rows are already ordered and adds are merged
+// in place.
+func (s *Sparse) PatchRows(rows, cols int, srcRow []int, drop func(src, col int) bool, add [][]Coord) (*Sparse, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: sparse %dx%d", ErrShape, rows, cols)
+	}
+	if len(srcRow) != rows {
+		return nil, fmt.Errorf("%w: srcRow of %d for %d patched rows", ErrShape, len(srcRow), rows)
+	}
+	if add != nil && len(add) != rows {
+		return nil, fmt.Errorf("%w: add rows of %d for %d patched rows", ErrShape, len(add), rows)
+	}
+	capHint := s.NNZ()
+	for _, a := range add {
+		capHint += len(a)
+	}
+	out := &Sparse{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int, 0, capHint),
+		val:    make([]float64, 0, capHint),
+	}
+	for r := 0; r < rows; r++ {
+		var cc []int
+		var cv []float64
+		src := srcRow[r]
+		switch {
+		case src == -1:
+			// fresh row
+		case src >= 0 && src < s.rows:
+			cc, cv = s.RowEntries(src)
+		default:
+			return nil, fmt.Errorf("%w: patched row %d sourced from row %d of a %dx%d matrix", ErrShape, r, src, s.rows, s.cols)
+		}
+		var adds []Coord
+		if add != nil {
+			adds = add[r]
+		}
+		ci, ai := 0, 0
+		prevAddCol := -1
+		for ci < len(cc) || ai < len(adds) {
+			if ci < len(cc) && drop != nil && drop(src, cc[ci]) {
+				ci++
+				continue
+			}
+			if ai < len(adds) {
+				a := adds[ai]
+				if a.Row != r {
+					return nil, fmt.Errorf("%w: add entry (%d,%d) listed under patched row %d", ErrShape, a.Row, a.Col, r)
+				}
+				if a.Col < 0 || a.Col >= cols {
+					return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrShape, a.Row, a.Col, rows, cols)
+				}
+				if a.Col <= prevAddCol {
+					return nil, fmt.Errorf("%w: add entries of row %d not strictly increasing at col %d", ErrShape, r, a.Col)
+				}
+				if ci >= len(cc) || a.Col <= cc[ci] {
+					if ci < len(cc) && a.Col == cc[ci] && a.Val != 0 {
+						return nil, fmt.Errorf("%w: duplicate entry (%d,%d)", ErrShape, r, a.Col)
+					}
+					prevAddCol = a.Col
+					ai++
+					if a.Val != 0 {
+						out.colIdx = append(out.colIdx, a.Col)
+						out.val = append(out.val, a.Val)
+					}
+					continue
+				}
+			}
+			if cc[ci] >= cols {
+				return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrShape, r, cc[ci], rows, cols)
+			}
+			out.colIdx = append(out.colIdx, cc[ci])
+			out.val = append(out.val, cv[ci])
+			ci++
+		}
+		out.rowPtr[r+1] = len(out.val)
+	}
+	return out, nil
+}

@@ -35,9 +35,10 @@ var ErrInput = errors.New("routing: invalid input")
 // nonzeros per column out of L+2n rows, so the sparse form is the only
 // one whose cost scales to hundred-node topologies (the dense form of an
 // n=200 network alone is ~300 MB). The CSR view is immutable once built;
-// callers modeling routing changes (link failures, re-weighted ECMP)
-// must build a new Matrix. The dense form exists only behind Dense(),
-// materialized lazily for the dense SVD cross-check paths.
+// routing changes (link failures, re-weighted ECMP) yield a new Matrix —
+// incrementally via Patch for a topology delta, or from scratch via
+// Build. The dense form exists only behind Dense(), materialized lazily
+// for the dense SVD cross-check paths.
 type Matrix struct {
 	// N is the number of access points; L the number of directed links.
 	N, L int

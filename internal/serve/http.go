@@ -134,7 +134,20 @@ type handler struct {
 //	PUT  /v2/topologies/{key}        — register a topology.Spec under a
 //	                                   client key; 201 created, 200
 //	                                   idempotent repeat, 409 conflict.
-//	GET  /v2/topologies              — list registered topologies.
+//	GET  /v2/topologies              — list registered topologies (with
+//	                                   mutation lineage: version, base).
+//	GET  /v2/topologies/{key}        — one registered topology; 404 for
+//	                                   unknown or evicted keys.
+//	PATCH /v2/topologies/{key}       — apply a topology.Delta (JSON body)
+//	                                   to a registered topology; the
+//	                                   routing matrix is patched
+//	                                   incrementally and the estimator
+//	                                   rebased, never rebuilt. Returns
+//	                                   the derived topology's key
+//	                                   (PatchResult) — deterministic, so
+//	                                   equal mutation outcomes share one
+//	                                   key. The base's priors carry over.
+//	                                   404 unknown base, 400 bad delta.
 //	POST /v2/topologies/{key}/priors — register estimation.PriorState,
 //	                                   validated against the topology;
 //	                                   returns the prior handle.
@@ -170,6 +183,8 @@ func NewHandler(e *Engine, defaultTopology topology.Spec) http.Handler {
 	mux.HandleFunc("/v1/estimate", h.estimate)
 	mux.HandleFunc("PUT /v2/topologies/{key}", h.registerTopology)
 	mux.HandleFunc("GET /v2/topologies", h.listTopologies)
+	mux.HandleFunc("GET /v2/topologies/{key}", h.getTopology)
+	mux.HandleFunc("PATCH /v2/topologies/{key}", h.patchTopology)
 	mux.HandleFunc("POST /v2/topologies/{key}/priors", h.registerPrior)
 	mux.HandleFunc("POST /v2/estimate", h.estimateV2)
 	return mux
@@ -250,6 +265,33 @@ func (h *handler) listTopologies(w http.ResponseWriter, r *http.Request) {
 	topos := h.engine.Topologies()
 	sort.Slice(topos, func(i, j int) bool { return topos[i].Key < topos[j].Key })
 	writeJSON(w, http.StatusOK, TopologyList{Topologies: topos})
+}
+
+// getTopology implements GET /v2/topologies/{key}.
+func (h *handler) getTopology(w http.ResponseWriter, r *http.Request) {
+	info, err := h.engine.Topology(r.PathValue("key"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// patchTopology implements PATCH /v2/topologies/{key}: the body is a
+// topology.Delta, the reply the derived topology's PatchResult.
+func (h *handler) patchTopology(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var delta topology.Delta
+	if err := json.NewDecoder(r.Body).Decode(&delta); err != nil {
+		httpError(w, fmt.Errorf("%w: decode topology delta: %v", ErrStream, err))
+		return
+	}
+	res, err := h.engine.PatchTopology(key, delta)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // registerPrior implements POST /v2/topologies/{key}/priors.

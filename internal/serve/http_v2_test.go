@@ -229,6 +229,8 @@ func TestHTTPV2RoundTripBitwise(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// LSQRIterations is local-only (json:"-"): zero on the wire.
+			diag.LSQRIterations = 0
 			if est.Diag != diag {
 				t.Fatalf("workers=%d bin %d: diag %+v vs %+v", workers, i, est.Diag, diag)
 			}

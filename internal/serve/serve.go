@@ -135,7 +135,8 @@ type Estimate struct {
 
 // TopologyInfo describes one registered topology for the listing API.
 type TopologyInfo struct {
-	// Key is the client-chosen registration key.
+	// Key is the client-chosen registration key (or the server-derived
+	// key for patched topologies).
 	Key string `json:"key"`
 	// N is the node count of the built topology.
 	N int `json:"n"`
@@ -143,6 +144,29 @@ type TopologyInfo struct {
 	Spec topology.Spec `json:"spec"`
 	// Priors counts the prior handles registered against this topology.
 	Priors int `json:"priors"`
+	// Version counts the topology's mutation depth: 0 for a directly
+	// registered topology, base's version + 1 for one derived by
+	// PatchTopology. Omitted from the wire at 0, keeping pre-patch
+	// listing bytes unchanged.
+	Version int `json:"version,omitempty"`
+	// Base is the key the topology was patched from (empty for directly
+	// registered topologies).
+	Base string `json:"base,omitempty"`
+}
+
+// PatchResult is the outcome of PatchTopology: the derived topology's
+// server-issued key and lineage.
+type PatchResult struct {
+	// Base echoes the patched topology's key.
+	Base string `json:"base"`
+	// Key is the derived topology's key — deterministic over the mutated
+	// graph, so any delta history reaching the same topology yields the
+	// same key.
+	Key string `json:"key"`
+	// N is the node count (deltas mutate links, never nodes).
+	N int `json:"n"`
+	// Version is the derived topology's mutation depth (base's + 1).
+	Version int `json:"version"`
 }
 
 // Stats is a snapshot of the engine's service-lifetime telemetry: the
@@ -176,6 +200,11 @@ type Stats struct {
 	IPFNonConverged        int64 `json:"ipf_non_converged"`
 	ProjectStalls          int64 `json:"project_stalls"`
 	WeightedDenseFallbacks int64 `json:"weighted_dense_fallbacks"`
+	// LSQRIterations sums the LSQR iterations consumed across all served
+	// bins (BinDiag.LSQRIterations): divided by Bins, the service-wide
+	// mean iterations-to-converge — the early-warning signal for a
+	// patched topology whose routing system turned ill-conditioned.
+	LSQRIterations int64 `json:"lsqr_iterations"`
 }
 
 // Engine is the shared, long-lived estimation core. It is safe for
@@ -205,6 +234,7 @@ type Engine struct {
 	ipfNC     atomic.Int64
 	stalls    atomic.Int64
 	denseFB   atomic.Int64
+	lsqrIters atomic.Int64
 }
 
 // solverEntry is one topology's lazily-built estimation session. The
@@ -214,6 +244,7 @@ type Engine struct {
 // its error.
 type solverEntry struct {
 	once sync.Once
+	g    *topology.Graph
 	rm   *routing.Matrix
 	est  *estimation.Estimator
 	err  error
@@ -231,6 +262,11 @@ type topoEntry struct {
 	canonical string
 	n         int
 	lastUse   int64
+	// version and base record mutation lineage for topologies derived by
+	// PatchTopology: version is the mutation depth (0 for direct
+	// registrations), base the key the delta was applied to.
+	version int
+	base    string
 }
 
 // priorEntry is one registered prior: validated calibration state bound
@@ -270,14 +306,13 @@ func (e *Engine) checkAccepting() error {
 	return nil
 }
 
-// estimatorFor returns the pooled base estimator for a topology
-// descriptor, building it on first use. The pool is LRU-bounded:
-// inserting beyond maxTopologies evicts the least-recently-used entry
-// (failed builds included, so an attacker cannot pin the pool with
-// broken specs). Streams hold direct estimator references, so evicting
-// an entry never invalidates work in flight — the next lookup just
-// rebuilds.
-func (e *Engine) estimatorFor(spec topology.Spec) (*estimation.Estimator, *routing.Matrix, error) {
+// entryFor returns the pooled solver entry for a topology descriptor,
+// building it on first use. The pool is LRU-bounded: inserting beyond
+// maxTopologies evicts the least-recently-used entry (failed builds
+// included, so an attacker cannot pin the pool with broken specs).
+// Streams hold direct estimator references, so evicting an entry never
+// invalidates work in flight — the next lookup just rebuilds.
+func (e *Engine) entryFor(spec topology.Spec) (*solverEntry, error) {
 	key := spec.Key()
 	e.mu.Lock()
 	e.tick++
@@ -308,9 +343,19 @@ func (e *Engine) estimatorFor(spec topology.Spec) (*estimation.Estimator, *routi
 			ent.err = fmt.Errorf("serve: build solver: %w", err)
 			return
 		}
-		ent.rm, ent.est = rm, est
+		ent.g, ent.rm, ent.est = g, rm, est
 	})
-	return ent.est, ent.rm, ent.err
+	return ent, ent.err
+}
+
+// estimatorFor is entryFor reduced to the estimator + routing matrix the
+// session paths need.
+func (e *Engine) estimatorFor(spec topology.Spec) (*estimation.Estimator, *routing.Matrix, error) {
+	ent, err := e.entryFor(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ent.est, ent.rm, nil
 }
 
 // RegisterTopology validates and registers a topology descriptor under
@@ -365,6 +410,119 @@ func (e *Engine) RegisterTopology(key string, spec topology.Spec) (n int, create
 	e.tick++
 	e.topos[key] = &topoEntry{spec: spec, canonical: canonical, n: rm.N, lastUse: e.tick}
 	return rm.N, true, nil
+}
+
+// derivedTopoKey issues the server-side key of a patched topology: a
+// short content hash of the mutated graph's canonical descriptor. The
+// explicit edge list itself is the canonical form, but it is far too
+// long for a URL path segment, so the key is its digest — equal mutated
+// graphs get equal keys no matter which delta history produced them.
+func derivedTopoKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return "tp-" + hex.EncodeToString(sum[:])[:12]
+}
+
+// PatchTopology applies a topology delta to a registered topology and
+// registers the result under a server-derived key, returning the new
+// key with its lineage. The mutation is incremental end to end: the
+// base's pooled routing matrix is patched (routing.Patch — bitwise
+// identical to a rebuild), the base's estimator is rebased onto it
+// (estimation.Rebase), and the result enters the solver pool warm, so
+// the first session against the derived key pays no build. The base's
+// registered priors are carried to the derived key (deltas never change
+// n, so the validated instances remain correct) under their
+// deterministic re-derived handles.
+//
+// Patching is idempotent the same way registration is: re-applying a
+// delta (or any delta history converging on the same topology) resolves
+// to the same derived key. Unknown base keys fail with ErrNotFound,
+// invalid deltas (including ones that disconnect the graph) with
+// ErrStream.
+func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, error) {
+	if err := e.checkAccepting(); err != nil {
+		return PatchResult{}, err
+	}
+	e.mu.Lock()
+	ent, ok := e.topos[key]
+	if !ok {
+		e.mu.Unlock()
+		return PatchResult{}, fmt.Errorf("%w: topology key %q", ErrNotFound, key)
+	}
+	e.tick++
+	ent.lastUse = e.tick
+	spec := ent.spec
+	version := ent.version
+	e.mu.Unlock()
+
+	// Patch outside the lock: the heavy work (2n Dijkstra sweeps plus
+	// touched-pair recomputation) must not serialize the registry.
+	base, err := e.entryFor(spec)
+	if err != nil {
+		return PatchResult{}, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	pm, ng, err := routing.Patch(base.rm, base.g, delta)
+	if err != nil {
+		return PatchResult{}, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	rebased, err := base.est.Rebase(pm)
+	if err != nil {
+		return PatchResult{}, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	derivedSpec := topology.GraphSpec(ng)
+	canonical := derivedSpec.Key()
+	derivedKey := derivedTopoKey(canonical)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tick++
+	// Keep the patched estimator warm: insert it into the solver pool
+	// under the derived canonical key (with a burnt once) instead of
+	// letting the first session rebuild from scratch.
+	if _, ok := e.solvers[canonical]; !ok {
+		if len(e.solvers) >= e.maxTopologies {
+			delete(e.solvers, lruKey(e.solvers, func(s *solverEntry) int64 { return s.lastUse }))
+			e.evicted++
+		}
+		warm := &solverEntry{g: ng, rm: pm, est: rebased, lastUse: e.tick}
+		warm.once.Do(func() {})
+		e.solvers[canonical] = warm
+	}
+	if dent, ok := e.topos[derivedKey]; ok {
+		if dent.canonical != canonical {
+			return PatchResult{}, fmt.Errorf("%w: derived topology key %q already registered with a different spec", ErrConflict, derivedKey)
+		}
+		dent.lastUse = e.tick
+		return PatchResult{Base: key, Key: derivedKey, N: ng.N(), Version: dent.version}, nil
+	}
+	if len(e.topos) >= e.maxTopologies {
+		e.dropTopologyLocked(lruKey(e.topos, func(t *topoEntry) int64 { return t.lastUse }))
+	}
+	e.topos[derivedKey] = &topoEntry{
+		spec: derivedSpec, canonical: canonical, n: ng.N(),
+		version: version + 1, base: key, lastUse: e.tick,
+	}
+	// Carry the base's priors: same n, so the validated instances stay
+	// correct — only the owning key (and therefore the handle) changes.
+	// Collect first: inserting while ranging over the map would be racy
+	// bookkeeping.
+	var carry []*priorEntry
+	for _, p := range e.priors {
+		if p.topoKey == key {
+			carry = append(carry, p)
+		}
+	}
+	for _, p := range carry {
+		h := priorHandle(derivedKey, p.state)
+		if _, ok := e.priors[h]; ok {
+			continue
+		}
+		if len(e.priors) >= e.maxPriors {
+			delete(e.priors, lruKey(e.priors, func(p *priorEntry) int64 { return p.lastUse }))
+			e.regEvic++
+		}
+		e.priors[h] = &priorEntry{topoKey: derivedKey, state: p.state, prior: p.prior, lastUse: e.tick}
+	}
+	return PatchResult{Base: key, Key: derivedKey, N: ng.N(), Version: version + 1}, nil
 }
 
 // lruKey returns the key of the least-recently-used entry of a pool or
@@ -474,16 +632,37 @@ func (e *Engine) Topologies() []TopologyInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]TopologyInfo, 0, len(e.topos))
-	for key, ent := range e.topos {
-		info := TopologyInfo{Key: key, N: ent.n, Spec: ent.spec}
-		for _, p := range e.priors {
-			if p.topoKey == key {
-				info.Priors++
-			}
-		}
-		out = append(out, info)
+	for key := range e.topos {
+		out = append(out, e.topologyInfoLocked(key))
 	}
 	return out
+}
+
+// topologyInfoLocked assembles one registered topology's listing entry.
+// Caller holds e.mu and guarantees the key exists.
+func (e *Engine) topologyInfoLocked(key string) TopologyInfo {
+	ent := e.topos[key]
+	info := TopologyInfo{Key: key, N: ent.n, Spec: ent.spec, Version: ent.version, Base: ent.base}
+	for _, p := range e.priors {
+		if p.topoKey == key {
+			info.Priors++
+		}
+	}
+	return info
+}
+
+// Topology returns one registered topology's listing entry, failing
+// with ErrNotFound for unknown (or evicted) keys.
+func (e *Engine) Topology(key string) (TopologyInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.topos[key]
+	if !ok {
+		return TopologyInfo{}, fmt.Errorf("%w: topology key %q", ErrNotFound, key)
+	}
+	e.tick++
+	ent.lastUse = e.tick
+	return e.topologyInfoLocked(key), nil
 }
 
 // resolveSession maps a SessionSpec's handles to the live resources:
@@ -616,6 +795,7 @@ func (e *Engine) open(base *estimation.Estimator, rm *routing.Matrix, prior esti
 				if est.Diag.WeightedDenseFallback {
 					e.denseFB.Add(1)
 				}
+				e.lsqrIters.Add(int64(est.Diag.LSQRIterations))
 			}
 			out <- est
 		}
@@ -685,6 +865,7 @@ func (e *Engine) Stats() Stats {
 		IPFNonConverged:        e.ipfNC.Load(),
 		ProjectStalls:          e.stalls.Load(),
 		WeightedDenseFallbacks: e.denseFB.Load(),
+		LSQRIterations:         e.lsqrIters.Load(),
 	}
 }
 

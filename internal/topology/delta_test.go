@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// deltaTestGraph builds a small diamond with a spur:
+//
+//	0 <-> 1, 0 <-> 2, 1 <-> 3, 2 <-> 3 (all weight 1), 3 <-> 4 (weight 2)
+func deltaTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(5)
+	for _, e := range [][3]float64{{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}, {3, 4, 2}} {
+		if _, _, err := g.AddBiEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatalf("AddBiEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestDeltaValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		op   DeltaOp
+		ok   bool
+	}{
+		{"add ok", DeltaOp{Op: OpAdd, From: 0, To: 4, Weight: 1}, true},
+		{"remove ok", DeltaOp{Op: OpRemove, From: 0, To: 1}, true},
+		{"reweight ok", DeltaOp{Op: OpReweight, From: 0, To: 1, Weight: 2}, true},
+		{"unknown op", DeltaOp{Op: "toggle", From: 0, To: 1}, false},
+		{"add zero weight", DeltaOp{Op: OpAdd, From: 0, To: 4}, false},
+		{"add negative weight", DeltaOp{Op: OpAdd, From: 0, To: 4, Weight: -1}, false},
+		{"add NaN weight", DeltaOp{Op: OpAdd, From: 0, To: 4, Weight: math.NaN()}, false},
+		{"add Inf weight", DeltaOp{Op: OpAdd, From: 0, To: 4, Weight: math.Inf(1)}, false},
+		{"reweight to zero", DeltaOp{Op: OpReweight, From: 0, To: 1, Weight: 0}, false},
+		{"self-loop add", DeltaOp{Op: OpAdd, From: 2, To: 2, Weight: 1}, false},
+		{"self-loop remove", DeltaOp{Op: OpRemove, From: 2, To: 2}, false},
+		{"negative endpoint", DeltaOp{Op: OpAdd, From: -1, To: 2, Weight: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Delta{Ops: []DeltaOp{tc.op}}.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: unexpected error %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate: error expected")
+				}
+				if !errors.Is(err, ErrGraph) {
+					t.Fatalf("Validate: error %v does not wrap ErrGraph", err)
+				}
+			}
+		})
+	}
+}
+
+func TestGraphApply(t *testing.T) {
+	g := deltaTestGraph(t)
+	d := Delta{Ops: []DeltaOp{
+		{Op: OpRemove, From: 1, To: 3},
+		{Op: OpReweight, From: 0, To: 1, Weight: 5},
+		{Op: OpAdd, From: 1, To: 4, Weight: 3},
+	}}
+	ng, edgeMap, err := g.Apply(d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if g.NumEdges() != 10 {
+		t.Fatalf("receiver mutated: %d edges", g.NumEdges())
+	}
+	if ng.NumEdges() != 10 {
+		t.Fatalf("mutated graph has %d edges, want 10", ng.NumEdges())
+	}
+	// Edge 1->3 had ID 4 (fifth directed edge added): removed.
+	if edgeMap[4] != -1 {
+		t.Fatalf("edgeMap[4] = %d, want -1 (removed)", edgeMap[4])
+	}
+	// Earlier IDs unchanged, later IDs shifted down by one.
+	for old, want := range map[int]int{0: 0, 1: 1, 2: 2, 3: 3, 5: 4, 6: 5, 7: 6, 8: 7, 9: 8} {
+		if edgeMap[old] != want {
+			t.Errorf("edgeMap[%d] = %d, want %d", old, edgeMap[old], want)
+		}
+	}
+	// The reweight landed on the surviving 0->1 edge (old ID 0, new ID 0).
+	if w := ng.Edges()[0].Weight; w != 5 {
+		t.Errorf("reweighted 0->1 weight = %g, want 5", w)
+	}
+	// The added edge appended at the end.
+	last := ng.Edges()[ng.NumEdges()-1]
+	if last.From != 1 || last.To != 4 || last.Weight != 3 {
+		t.Errorf("appended edge = %+v, want 1->4 w=3", last)
+	}
+	// Apply's result is identical to building GraphSpec(ng) from scratch.
+	rebuilt, err := GraphSpec(ng).Build()
+	if err != nil {
+		t.Fatalf("rebuild from GraphSpec: %v", err)
+	}
+	if len(rebuilt.Edges()) != len(ng.Edges()) {
+		t.Fatalf("rebuilt edge count %d, want %d", len(rebuilt.Edges()), len(ng.Edges()))
+	}
+	for i, e := range ng.Edges() {
+		if rebuilt.Edges()[i] != e {
+			t.Errorf("rebuilt edge %d = %+v, want %+v", i, rebuilt.Edges()[i], e)
+		}
+	}
+}
+
+func TestGraphApplyErrors(t *testing.T) {
+	g := deltaTestGraph(t)
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"remove missing", Delta{Ops: []DeltaOp{{Op: OpRemove, From: 0, To: 4}}}},
+		{"reweight missing", Delta{Ops: []DeltaOp{{Op: OpReweight, From: 0, To: 4, Weight: 2}}}},
+		{"add parallel", Delta{Ops: []DeltaOp{{Op: OpAdd, From: 0, To: 1, Weight: 2}}}},
+		{"out of range", Delta{Ops: []DeltaOp{{Op: OpAdd, From: 0, To: 99, Weight: 1}}}},
+		{"remove twice", Delta{Ops: []DeltaOp{{Op: OpRemove, From: 0, To: 1}, {Op: OpRemove, From: 0, To: 1}}}},
+		{"unknown op", Delta{Ops: []DeltaOp{{Op: "flip", From: 0, To: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := g.Apply(tc.d); !errors.Is(err, ErrGraph) {
+				t.Fatalf("Apply: err = %v, want ErrGraph", err)
+			}
+		})
+	}
+	// Remove then re-add of the same ordered pair inside one delta is legal.
+	d := Delta{Ops: []DeltaOp{{Op: OpRemove, From: 0, To: 1}, {Op: OpAdd, From: 0, To: 1, Weight: 9}}}
+	ng, _, err := g.Apply(d)
+	if err != nil {
+		t.Fatalf("remove+re-add: %v", err)
+	}
+	last := ng.Edges()[ng.NumEdges()-1]
+	if last.From != 0 || last.To != 1 || last.Weight != 9 {
+		t.Fatalf("re-added edge = %+v, want 0->1 w=9", last)
+	}
+}
+
+func TestDerivedKeys(t *testing.T) {
+	spec := Spec{Family: FamilyBackboneStub, N: 12, Seed: 7}
+	down := Delta{Ops: []DeltaOp{{Op: OpRemove, From: 0, To: 1}, {Op: OpRemove, From: 1, To: 0}}}
+
+	d1, err := spec.Apply(down)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	d2, err := spec.Apply(down)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if d1.Key() != d2.Key() {
+		t.Fatal("equal spec+delta histories produced different derived keys")
+	}
+	if d1.Key() == spec.Key() {
+		t.Fatal("derived key equals base key")
+	}
+	if d1.Family != FamilyExplicit {
+		t.Fatalf("derived family %q, want explicit", d1.Family)
+	}
+
+	// Different histories with the same outcome share the derived key:
+	// reweight to 2 in one step vs. via an intermediate weight.
+	oneStep := Delta{Ops: []DeltaOp{{Op: OpReweight, From: 0, To: 1, Weight: 2}}}
+	twoSteps := Delta{Ops: []DeltaOp{
+		{Op: OpReweight, From: 0, To: 1, Weight: 7},
+		{Op: OpReweight, From: 0, To: 1, Weight: 2},
+	}}
+	k1, err := spec.Apply(oneStep)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	k2, err := spec.Apply(twoSteps)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if k1.Key() != k2.Key() {
+		t.Fatal("equivalent delta histories produced different derived keys")
+	}
+
+	// The derived descriptor round-trips through JSON (it is the wire
+	// form the serve registry stores).
+	b, err := json.Marshal(d1)
+	if err != nil {
+		t.Fatalf("marshal derived spec: %v", err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal derived spec: %v", err)
+	}
+	if back.Key() != d1.Key() {
+		t.Fatal("derived key not stable across a JSON round-trip")
+	}
+}

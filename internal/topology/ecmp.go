@@ -33,6 +33,29 @@ func (g *Graph) ECMPFractions(src, dst int) (map[int]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.ECMPFractionsDist(src, dst, distFrom, distTo)
+}
+
+// ECMPFractionsDist is ECMPFractions with caller-supplied shortest-path
+// distances: distFrom must be g.Dijkstra(src) and distTo
+// g.Reverse().Dijkstra(dst). It is the incremental mode of the path-set
+// computation, built for routing.Patch: after a topology delta, the
+// patcher recomputes fractions for the touched OD pairs off 2n shared
+// Dijkstra sweeps instead of paying two sweeps per pair. Results are
+// bit-identical to ECMPFractions, which delegates here.
+func (g *Graph) ECMPFractionsDist(src, dst int, distFrom, distTo []float64) (map[int]float64, error) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, fmt.Errorf("%w: pair (%d,%d) outside [0,%d)", ErrGraph, src, dst, g.n)
+	}
+	if src == dst {
+		return map[int]float64{}, nil
+	}
+	if len(distFrom) != g.n || len(distTo) != g.n {
+		return nil, fmt.Errorf("%w: distance vectors of %d/%d for n=%d", ErrGraph, len(distFrom), len(distTo), g.n)
+	}
+	if math.IsInf(distFrom[dst], 1) {
+		return nil, fmt.Errorf("%w: %d unreachable from %d", ErrGraph, dst, src)
+	}
 	total := distFrom[dst]
 	const eps = 1e-9
 
@@ -51,14 +74,25 @@ func (g *Graph) ECMPFractions(src, dst int) (map[int]float64, error) {
 	}
 
 	// Process nodes in increasing distance from src so all inflow to a
-	// node is known before its outflow is split.
+	// node is known before its outflow is split. Equal-distance nodes
+	// are ordered by ID: each node's position is then a function of its
+	// own (distance, ID) alone, never of other nodes' values — the
+	// invariant routing.Patch's carry proof relies on (a distance change
+	// at a node off a pair's DAG must not reorder the flow summation of
+	// the unchanged DAG nodes).
 	order := make([]int, 0, g.n)
 	for u := 0; u < g.n; u++ {
 		if !math.IsInf(distFrom[u], 1) {
 			order = append(order, u)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return distFrom[order[a]] < distFrom[order[b]] })
+	sort.Slice(order, func(a, b int) bool {
+		da, db := distFrom[order[a]], distFrom[order[b]]
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
 
 	nodeFlow := make([]float64, g.n)
 	nodeFlow[src] = 1

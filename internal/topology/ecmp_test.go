@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// twoIslands builds a graph with two components: a triangle {0,1,2} and
+// a disconnected pair {3,4}.
+func twoIslands(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}} {
+		if _, _, err := g.AddBiEdge(e[0], e[1], 1); err != nil {
+			t.Fatalf("AddBiEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestECMPFractionsDisconnected(t *testing.T) {
+	g := twoIslands(t)
+	for _, pair := range [][2]int{{0, 3}, {3, 0}, {2, 4}, {4, 1}} {
+		if _, err := g.ECMPFractions(pair[0], pair[1]); !errors.Is(err, ErrGraph) {
+			t.Errorf("ECMPFractions(%d,%d): err = %v, want ErrGraph", pair[0], pair[1], err)
+		}
+	}
+	// Within a component the pair still resolves.
+	if frac, err := g.ECMPFractions(3, 4); err != nil || len(frac) != 1 {
+		t.Errorf("ECMPFractions(3,4) = %v, %v; want single-edge path", frac, err)
+	}
+}
+
+func TestPathCountDisconnectedAndSelf(t *testing.T) {
+	g := twoIslands(t)
+	// PathCount reports zero paths for unreachable pairs rather than
+	// erroring: "no shortest path exists" is a countable answer.
+	for _, pair := range [][2]int{{0, 3}, {4, 2}} {
+		if c, err := g.PathCount(pair[0], pair[1]); err != nil || c != 0 {
+			t.Errorf("PathCount(%d,%d) = %d, %v; want 0, nil", pair[0], pair[1], c, err)
+		}
+	}
+	// Self-pairs are zero paths by convention (intra-PoP traffic never
+	// enters the backbone), matching ECMPFractions' empty map.
+	for u := 0; u < g.N(); u++ {
+		if c, err := g.PathCount(u, u); err != nil || c != 0 {
+			t.Errorf("PathCount(%d,%d) = %d, %v; want 0, nil", u, u, c, err)
+		}
+		frac, err := g.ECMPFractions(u, u)
+		if err != nil || len(frac) != 0 {
+			t.Errorf("ECMPFractions(%d,%d) = %v, %v; want empty, nil", u, u, frac, err)
+		}
+	}
+}
+
+func TestECMPFractionsRange(t *testing.T) {
+	g := twoIslands(t)
+	for _, pair := range [][2]int{{-1, 0}, {0, 5}, {7, -2}} {
+		if _, err := g.ECMPFractions(pair[0], pair[1]); !errors.Is(err, ErrGraph) {
+			t.Errorf("ECMPFractions(%d,%d): err = %v, want ErrGraph", pair[0], pair[1], err)
+		}
+	}
+}
+
+// Zero-weight links are rejected at every door into the graph, so the
+// shortest-path machinery never sees one: Dijkstra's positive-weight
+// precondition is enforced structurally rather than per-query.
+func TestZeroWeightLinksRejectedEverywhere(t *testing.T) {
+	g := NewGraph(3)
+	if _, err := g.AddEdge(0, 1, 0); !errors.Is(err, ErrGraph) {
+		t.Errorf("AddEdge weight 0: err = %v, want ErrGraph", err)
+	}
+	if _, _, err := g.AddBiEdge(0, 1, 0); !errors.Is(err, ErrGraph) {
+		t.Errorf("AddBiEdge weight 0: err = %v, want ErrGraph", err)
+	}
+	if _, _, err := g.AddBiEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddBiEdge: %v", err)
+	}
+	// Reweighting an existing link to zero through a delta is refused too.
+	d := Delta{Ops: []DeltaOp{{Op: OpReweight, From: 0, To: 1, Weight: 0}}}
+	if _, _, err := g.Apply(d); !errors.Is(err, ErrGraph) {
+		t.Errorf("Apply reweight-to-0: err = %v, want ErrGraph", err)
+	}
+	// And adding a zero-weight link through a delta.
+	d = Delta{Ops: []DeltaOp{{Op: OpAdd, From: 1, To: 2, Weight: 0}}}
+	if _, _, err := g.Apply(d); !errors.Is(err, ErrGraph) {
+		t.Errorf("Apply add-weight-0: err = %v, want ErrGraph", err)
+	}
+}
+
+// ECMPFractionsDist with freshly computed distance vectors must agree
+// bit-for-bit with the self-contained ECMPFractions.
+func TestECMPFractionsDistMatchesDirect(t *testing.T) {
+	g, err := BackboneStub(16, 0, 99)
+	if err != nil {
+		t.Fatalf("BackboneStub: %v", err)
+	}
+	rev := g.Reverse()
+	for src := 0; src < g.N(); src++ {
+		distFrom, err := g.Dijkstra(src)
+		if err != nil {
+			t.Fatalf("Dijkstra(%d): %v", src, err)
+		}
+		for dst := 0; dst < g.N(); dst++ {
+			if src == dst {
+				continue
+			}
+			distTo, err := rev.Dijkstra(dst)
+			if err != nil {
+				t.Fatalf("reverse Dijkstra(%d): %v", dst, err)
+			}
+			want, err := g.ECMPFractions(src, dst)
+			if err != nil {
+				t.Fatalf("ECMPFractions(%d,%d): %v", src, dst, err)
+			}
+			got, err := g.ECMPFractionsDist(src, dst, distFrom, distTo)
+			if err != nil {
+				t.Fatalf("ECMPFractionsDist(%d,%d): %v", src, dst, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pair (%d,%d): %d edges vs %d", src, dst, len(got), len(want))
+			}
+			for eid, f := range want {
+				if math.Float64bits(got[eid]) != math.Float64bits(f) {
+					t.Fatalf("pair (%d,%d) edge %d: %x vs %x bits", src, dst, eid, math.Float64bits(got[eid]), math.Float64bits(f))
+				}
+			}
+		}
+	}
+}
+
+func TestECMPFractionsDistValidation(t *testing.T) {
+	g := twoIslands(t)
+	distFrom, _ := g.Dijkstra(0)
+	distTo, _ := g.Reverse().Dijkstra(1)
+	if _, err := g.ECMPFractionsDist(0, 1, distFrom[:2], distTo); !errors.Is(err, ErrGraph) {
+		t.Errorf("short distFrom: err = %v, want ErrGraph", err)
+	}
+	if _, err := g.ECMPFractionsDist(0, 1, distFrom, distTo[:1]); !errors.Is(err, ErrGraph) {
+		t.Errorf("short distTo: err = %v, want ErrGraph", err)
+	}
+	if _, err := g.ECMPFractionsDist(0, 9, distFrom, distTo); !errors.Is(err, ErrGraph) {
+		t.Errorf("range: err = %v, want ErrGraph", err)
+	}
+	// Unreachable destination reported through the dist vector.
+	distTo3, _ := g.Reverse().Dijkstra(3)
+	distFrom0, _ := g.Dijkstra(0)
+	if _, err := g.ECMPFractionsDist(0, 3, distFrom0, distTo3); !errors.Is(err, ErrGraph) {
+		t.Errorf("unreachable: err = %v, want ErrGraph", err)
+	}
+}

@@ -87,6 +87,39 @@ func (s Spec) Key() string {
 	return string(b)
 }
 
+// GraphSpec returns the explicit Spec describing g edge for edge:
+// Build on the result reconstructs g exactly — same node count, same
+// edge IDs, same weights. It is how mutated graphs re-enter the Spec
+// world: after Graph.Apply, the explicit spec of the result is the
+// canonical derived descriptor of the Spec+delta history, and its
+// Key() the derived key. Because the descriptor captures the resulting
+// edge list rather than the mutation path, any two delta histories
+// reaching the same graph share one derived key.
+func GraphSpec(g *Graph) Spec {
+	edges := make([]EdgeSpec, g.NumEdges())
+	for i, e := range g.Edges() {
+		edges[i] = EdgeSpec{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	return Spec{Family: FamilyExplicit, N: g.N(), Edges: edges}
+}
+
+// Apply builds the spec's graph, applies the delta, and returns the
+// canonical derived descriptor (GraphSpec of the mutated graph). The
+// derived descriptor's Key is the deterministic re-keying of this
+// spec + delta history: equal histories — or different histories with
+// equal outcomes — yield equal keys.
+func (s Spec) Apply(d Delta) (Spec, error) {
+	g, err := s.Build()
+	if err != nil {
+		return Spec{}, err
+	}
+	ng, _, err := g.Apply(d)
+	if err != nil {
+		return Spec{}, err
+	}
+	return GraphSpec(ng), nil
+}
+
 // Build deterministically constructs the described graph.
 func (s Spec) Build() (*Graph, error) {
 	n := s.normalized()

@@ -48,17 +48,31 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // NumEdges returns the number of directed edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
+// validateEdge checks the graph-independent edge invariants shared by
+// AddEdge and Delta.Validate: distinct non-negative endpoints and a
+// positive finite weight (Dijkstra requirement — zero-weight links are
+// rejected here, so they can never reach the shortest-path machinery).
+func validateEdge(from, to int, weight float64) error {
+	if from < 0 || to < 0 {
+		return fmt.Errorf("%w: edge %d->%d with negative endpoint", ErrGraph, from, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: self-loop at %d", ErrGraph, from)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("%w: weight %g on %d->%d", ErrGraph, weight, from, to)
+	}
+	return nil
+}
+
 // AddEdge inserts a directed edge and returns its ID. Weights must be
 // positive (Dijkstra requirement).
 func (g *Graph) AddEdge(from, to int, weight float64) (int, error) {
 	if from < 0 || from >= g.n || to < 0 || to >= g.n {
 		return 0, fmt.Errorf("%w: edge %d->%d outside [0,%d)", ErrGraph, from, to, g.n)
 	}
-	if from == to {
-		return 0, fmt.Errorf("%w: self-loop at %d", ErrGraph, from)
-	}
-	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
-		return 0, fmt.Errorf("%w: weight %g on %d->%d", ErrGraph, weight, from, to)
+	if err := validateEdge(from, to, weight); err != nil {
+		return 0, err
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight})
