@@ -1,10 +1,12 @@
 package ictm
 
 import (
+	"context"
 	"testing"
 
 	"ictm/internal/estimation"
 	"ictm/internal/experiments"
+	"ictm/internal/faults"
 	"ictm/internal/fit"
 	"ictm/internal/packet"
 	"ictm/internal/routing"
@@ -691,7 +693,7 @@ func BenchmarkEngineRegisteredPrior(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := engine.EstimateBatch(session, bins)
+		out, err := engine.EstimateBatch(context.Background(), session, bins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -711,7 +713,7 @@ func BenchmarkEngineInlinePrior(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := engine.EstimateBatchInline(stream, bins)
+		out, err := engine.EstimateBatchInline(context.Background(), stream, bins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -733,6 +735,75 @@ func BenchmarkAblationRoutingRing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := routing.Build(g); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- robustness benchmarks (clean vs masked degraded solve) ---
+
+// benchEstimateBinFixture builds the per-bin estimation fixture of the
+// robustness pair: one GeantLike observation and an estimator on the
+// scenario's own topology.
+func benchEstimateBinFixture(b *testing.B) (*estimation.Estimator, *routing.Matrix, []float64) {
+	b.Helper()
+	sc := synth.GeantLike()
+	sc.BinsPerWeek = 14
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := sc.Topology().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := rm.LinkLoads(d.Series.At(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := estimation.NewEstimator(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est, rm, y
+}
+
+// BenchmarkEstimateBinClean measures one per-bin solve on a fully
+// reported observation. The robustness PR's acceptance criterion pins
+// this path: observation validation and the mask check must stay within
+// 5% of the pre-fault-model cost (benchcheck -max-ratio 1.05 against
+// BENCH_pr7.json).
+func BenchmarkEstimateBinClean(b *testing.B) {
+	est, _, y := benchEstimateBinFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.EstimateBin(estimation.GravityPrior{}, 0, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateBinLossy measures the same solve degraded by the
+// lossy fault profile: ~20% of link reports are NaN, so every iteration
+// takes the masked-LSQR path (row-masked operator, no dense fallback)
+// instead of the clean projection.
+func BenchmarkEstimateBinLossy(b *testing.B) {
+	est, rm, y := benchEstimateBinFixture(b)
+	faults.NewInjector(faults.Lossy(), 1, rm.L).Apply(0, y, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, diag, err := est.EstimateBin(estimation.GravityPrior{}, 0, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !diag.Degraded {
+			b.Fatal("lossy observation did not degrade the solve")
 		}
 	}
 }

@@ -9,6 +9,12 @@
 //
 //	icest -scenario geant -weeks 2 -scale 0.1 -workers 0
 //	icest -scenario isp -n 200 -scale 0.02
+//	icest -scenario isp -n 100 -scale 0.02 -fault-profile lossy
+//
+// -fault-profile corrupts the link observations fed to the estimator
+// with a tiered measurement-fault model (internal/faults) — the run
+// then appends a per-prior degradation report (degraded bins, dropped
+// link equations, prior fallbacks) to the comparison table.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"ictm/internal/cliflag"
 	"ictm/internal/estimation"
+	"ictm/internal/faults"
 	"ictm/internal/fit"
 	"ictm/internal/routing"
 	"ictm/internal/stats"
@@ -52,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		linkNoise = fs.Float64("linknoise", 0, "multiplicative lognormal noise sigma on link loads")
 		flaps     = fs.Int("flaps", 0, `link-flap events scheduled over the estimated week ("isp" family only; 0 = steady topology)`)
 		workers   = fs.Int("workers", 0, "concurrent workers for generation, fitting and estimation (0 = all CPUs, 1 = sequential); results are identical for any value")
+		faultProf = fs.String("fault-profile", "", fmt.Sprintf(`measurement-fault profile corrupting the link observations fed to the estimator: one of %v (empty = clean)`, faults.Names()))
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,6 +76,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *flaps < 0 {
 		return fmt.Errorf("-flaps must be non-negative, got %d", *flaps)
+	}
+	prof := faults.Clean()
+	if *faultProf != "" {
+		var err error
+		if prof, err = faults.ByName(*faultProf); err != nil {
+			return err
+		}
 	}
 	var sc synth.Scenario
 	switch *scenario {
@@ -93,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	sc.BinsPerWeek = perDay * 7
 	sc.Workers = *workers
+	sc.FaultProfile = *faultProf
 
 	fmt.Fprintf(stderr, "icest: generating %s (n=%d, %d bins/week, %d weeks)\n",
 		sc.Name, sc.N, sc.BinsPerWeek, sc.Weeks)
@@ -154,6 +170,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		estimation.WithDense(*dense),
 		estimation.WithLinkNoise(*linkNoise, sc.Seed),
 		estimation.WithWorkers(*workers),
+		// Inert for the clean profile: the injector only engages when a
+		// mechanism is active, so the no-fault path is byte-identical to
+		// builds that predate fault modelling.
+		estimation.WithFaultInjection(prof, sc.Seed),
 	)
 	if err != nil {
 		return err
@@ -191,7 +211,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "calibrated f = %.4f (true %.4f)\n", calibFit.Params.F, sc.F)
 
+	// Degradation report: only under an active fault profile, so the
+	// clean-path output (and its golden snapshots) stays byte-exact.
+	if prof.Active() {
+		fmt.Fprintf(stdout, "\nfault profile %s: degradation report\n", prof.Name)
+		fmt.Fprintf(stdout, "%-14s %-14s %-14s %s\n", "prior", "degraded bins", "links dropped", "prior fallbacks")
+		for _, p := range priors {
+			rs := results[p.Name()].Stats
+			fmt.Fprintf(stdout, "%-14s %-14s %-14d %d\n",
+				p.Name(), fmt.Sprintf("%d/%d", rs.DegradedBins, rs.Bins), rs.LinksDroppedTotal, rs.PriorFallbacks)
+		}
+	}
+
 	if *flaps > 0 && *scenario == "isp" {
+		if prof.Active() {
+			fmt.Fprintf(stderr, "icest: note: the flap report re-estimates on clean observations (-fault-profile applies to the steady-topology comparison only)\n")
+		}
 		return flapReport(stdout, stderr, sc, target, g, rm, estimator, priors, results, *flaps)
 	}
 	return nil

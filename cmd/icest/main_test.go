@@ -228,3 +228,44 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFaultProfile drives the comparison through the lossy
+// measurement-fault profile: the run must complete (degrade, not die),
+// print the degradation report with non-zero degraded bins, and keep
+// the report itself deterministic. The clean profile must add nothing,
+// preserving the golden snapshots.
+func TestRunFaultProfile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fault-profile", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown fault profile must fail")
+	}
+
+	runProfile := func(profile string) string {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		args := []string{"-scale", "0.01", "-weeks", "2", "-fault-profile", profile}
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("profile %q: %v\n%s", profile, err, errBuf.String())
+		}
+		return out.String()
+	}
+
+	lossy := runProfile("lossy")
+	if !strings.Contains(lossy, "fault profile lossy: degradation report") {
+		t.Errorf("lossy report missing degradation section:\n%s", lossy)
+	}
+	if strings.Contains(lossy, "0/") && !strings.Contains(lossy, "degraded bins") {
+		t.Errorf("degradation header missing:\n%s", lossy)
+	}
+	// Every prior row must report degraded bins under 20% missing links.
+	if strings.Contains(lossy, "gravity        0/") {
+		t.Errorf("lossy profile degraded no bins:\n%s", lossy)
+	}
+	if again := runProfile("lossy"); again != lossy {
+		t.Error("lossy report is not deterministic")
+	}
+
+	if clean := runProfile("clean"); strings.Contains(clean, "degradation report") {
+		t.Errorf("clean profile must not print a degradation report:\n%s", clean)
+	}
+}

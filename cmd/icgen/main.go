@@ -7,9 +7,16 @@
 //	icgen -scenario totem -format json -out tm.json
 //	icgen -scenario isp -n 100 -weeks 1 -out isp100.csv
 //	icgen -n 10 -bins 336 -f 0.3 -seed 7 -out custom.csv
+//	icgen -scenario geant -bins 14 -loads-out obs.ndjson -fault-profile lossy
 //
 // With no -scenario, a custom scenario is assembled from the -n, -bins,
 // -weeks, -f and -seed flags with Géant-like noise defaults.
+//
+// -loads-out additionally routes the ground truth onto the scenario's
+// topology and writes the per-bin link-load observations as NDJSON
+// serve bins; -fault-profile corrupts those observations (never the
+// ground truth) with a tiered measurement-fault model from
+// internal/faults, carrying dropped reports as Missing indices.
 package main
 
 import (
@@ -18,9 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"ictm/internal/cliflag"
+	"ictm/internal/faults"
+	"ictm/internal/routing"
+	"ictm/internal/serve"
 	"ictm/internal/synth"
 	"ictm/internal/tm"
 	"ictm/internal/tmgen"
@@ -51,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format   = fs.String("format", "csv", `output format: "csv" or "json"`)
 		out      = fs.String("out", "-", `output file ("-" = stdout)`)
 		workers  = fs.Int("workers", 0, "concurrent generation workers (0 = all CPUs, 1 = sequential); output is identical for any value")
+
+		loadsOut     = fs.String("loads-out", "", `also write per-bin link-load observations as NDJSON serve bins to this file ("-" = stdout)`)
+		faultProfile = fs.String("fault-profile", "", fmt.Sprintf(`measurement-fault profile corrupting the -loads-out observations: one of %v (empty = clean)`, faults.Names()))
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,8 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-pure is incompatible with -scenario presets")
 		}
 		// The pure recipe path generates sequentially (tmgen has no
-		// worker fan-out) and has no topology to flap.
-		cliflag.WarnIgnored(fs, stderr, "icgen", "with -pure", "workers", "flaps", "flap-out")
+		// worker fan-out) and has no topology to route loads over or flap.
+		cliflag.WarnIgnored(fs, stderr, "icgen", "with -pure", "workers", "flaps", "flap-out", "loads-out", "fault-profile")
 		recipe := tmgen.Recipe{
 			N:          *n,
 			T:          *bins * maxInt(*weeks, 1),
@@ -123,6 +137,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.BinsPerWeek = *bins
 	}
 	sc.Workers = *workers
+	if *faultProfile != "" && *loadsOut == "" {
+		return fmt.Errorf("-fault-profile needs -loads-out (faults corrupt link observations, not ground truth)")
+	}
+	// Recorded on the scenario (and validated by Generate) even though
+	// the ground truth stays clean: the profile is part of the dataset's
+	// provenance.
+	sc.FaultProfile = *faultProfile
 
 	d, err := synth.Generate(sc)
 	if err != nil {
@@ -152,6 +173,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "icgen: %s: %d flap events written\n", sc.Name, len(sched.Events))
 	} else if *scenario == "isp" {
 		cliflag.WarnIgnored(fs, stderr, "icgen", "without -flaps", "flap-out")
+	}
+
+	if *loadsOut != "" {
+		prof := faults.Clean()
+		if *faultProfile != "" {
+			if prof, err = faults.ByName(*faultProfile); err != nil {
+				return err
+			}
+		}
+		bins, dropped, err := observationBins(sc, d.Series, prof)
+		if err != nil {
+			return err
+		}
+		if err := writeObservationBins(bins, *loadsOut, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "icgen: %s: %d observation bins written (profile %s, %d link reports missing)\n",
+			sc.Name, len(bins), prof.Name, dropped)
+	}
+	return nil
+}
+
+// observationBins routes the ground-truth series onto the scenario's
+// topology and corrupts the resulting link-load observations with the
+// fault profile, seeded by the scenario seed. Missing reports (NaN from
+// the injector) travel as Missing indices with the load zeroed — the
+// serve wire convention, since JSON carries no NaN.
+func observationBins(sc synth.Scenario, series *tm.Series, prof faults.Profile) ([]serve.Bin, int, error) {
+	g, err := sc.Topology().Build()
+	if err != nil {
+		return nil, 0, fmt.Errorf("loads topology: %w", err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		return nil, 0, fmt.Errorf("loads routing: %w", err)
+	}
+	loads := make([][]float64, series.Len())
+	for t := range loads {
+		if loads[t], err = rm.LinkLoads(series.At(t)); err != nil {
+			return nil, 0, fmt.Errorf("link loads bin %d: %w", t, err)
+		}
+	}
+	faults.NewInjector(prof, sc.Seed, rm.L).ApplySeries(loads)
+	bins := make([]serve.Bin, len(loads))
+	dropped := 0
+	for t, y := range loads {
+		bins[t] = serve.Bin{T: t, Y: y}
+		for i, v := range y {
+			if math.IsNaN(v) {
+				y[i] = 0
+				bins[t].Missing = append(bins[t].Missing, i)
+				dropped++
+			}
+		}
+	}
+	return bins, dropped, nil
+}
+
+// writeObservationBins emits the bins as NDJSON — one serve.Bin per
+// line, the exact format `icserve` streams — to the file (or stdout
+// for "-").
+func writeObservationBins(bins []serve.Bin, out string, stdout io.Writer) (err error) {
+	w := stdout
+	if out != "-" {
+		file, cerr := os.Create(out)
+		if cerr != nil {
+			return fmt.Errorf("create %s: %w", out, cerr)
+		}
+		defer func() {
+			if cerr := file.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close %s: %w", out, cerr)
+			}
+		}()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	for _, b := range bins {
+		if err := enc.Encode(b); err != nil {
+			return fmt.Errorf("write observation bin %d: %w", b.T, err)
+		}
 	}
 	return nil
 }

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"ictm/internal/serve"
 	"ictm/internal/synth"
 )
 
@@ -188,6 +191,10 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 			[]string{"-pure", "-n", "5", "-bins", "14", "-flaps", "1", "-flap-out", "unused.json"},
 			[]string{"-flaps is ignored with -pure", "-flap-out is ignored with -pure"},
 			nil},
+		{"pure ignores loads-out and fault-profile",
+			[]string{"-pure", "-n", "5", "-bins", "14", "-loads-out", "unused.ndjson", "-fault-profile", "lossy"},
+			[]string{"-loads-out is ignored with -pure", "-fault-profile is ignored with -pure"},
+			nil},
 		{"flap-out without flaps",
 			[]string{"-scenario", "isp", "-n", "8", "-bins", "14", "-weeks", "1", "-flap-out", "unused.json"},
 			[]string{"-flap-out is ignored without -flaps"},
@@ -210,5 +217,88 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRunFaultedLoads covers the -loads-out/-fault-profile pair: the
+// NDJSON observation stream routes the ground truth onto the scenario
+// topology, the lossy profile drops link reports into Missing indices,
+// and the whole artifact is deterministic in the scenario seed.
+func TestRunFaultedLoads(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-n", "5", "-bins", "14", "-fault-profile", "lossy"}, &out, &errBuf); err == nil {
+		t.Error("-fault-profile without -loads-out must fail")
+	}
+	if err := run([]string{"-n", "5", "-bins", "14", "-loads-out", "-", "-fault-profile", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown fault profile must fail")
+	}
+
+	dir := t.TempDir()
+	loadsPath := filepath.Join(dir, "loads.ndjson")
+	runLoads := func(profile string) []serve.Bin {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		args := []string{"-n", "5", "-bins", "14", "-weeks", "1", "-seed", "7",
+			"-out", filepath.Join(dir, "tm.csv"), "-loads-out", loadsPath}
+		if profile != "" {
+			args = append(args, "-fault-profile", profile)
+		}
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("profile %q: %v\n%s", profile, err, errBuf.String())
+		}
+		data, err := os.ReadFile(loadsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bins []serve.Bin
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for dec.More() {
+			var b serve.Bin
+			if err := dec.Decode(&b); err != nil {
+				t.Fatal(err)
+			}
+			bins = append(bins, b)
+		}
+		return bins
+	}
+
+	clean := runLoads("")
+	if len(clean) != 14 {
+		t.Fatalf("clean: %d bins, want 14", len(clean))
+	}
+	for _, b := range clean {
+		if len(b.Missing) != 0 {
+			t.Fatalf("clean bin %d has Missing %v", b.T, b.Missing)
+		}
+	}
+	// An explicit -fault-profile clean is byte-identical to the default.
+	if named := runLoads("clean"); !reflect.DeepEqual(named, clean) {
+		t.Error("explicit clean profile differs from default")
+	}
+
+	lossy := runLoads("lossy")
+	if len(lossy) != 14 {
+		t.Fatalf("lossy: %d bins, want 14", len(lossy))
+	}
+	missing := 0
+	for _, b := range lossy {
+		missing += len(b.Missing)
+		for i, v := range b.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("lossy bin %d: non-finite y[%d] on the wire", b.T, i)
+			}
+		}
+		for _, i := range b.Missing {
+			if i < 0 || i >= len(b.Y) || b.Y[i] != 0 {
+				t.Fatalf("lossy bin %d: missing index %d not zeroed in range", b.T, i)
+			}
+		}
+	}
+	if missing == 0 {
+		t.Error("lossy profile dropped no link reports")
+	}
+	// Determinism: a second lossy run reproduces the artifact exactly.
+	if again := runLoads("lossy"); !reflect.DeepEqual(again, lossy) {
+		t.Error("lossy observations are not deterministic in the seed")
 	}
 }

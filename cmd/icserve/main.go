@@ -71,6 +71,20 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		scenario = fs.String("scenario", "geant", `default topology for requests naming none: "geant", "totem" or "isp" (parameterized by -n)`)
 		nodes    = fs.Int("n", 100, `PoP count for the "isp" default scenario (ignored by geant/totem)`)
 		workers  = fs.Int("workers", 0, "concurrent estimation workers per stream (0 = all CPUs, 1 = sequential); estimates are identical for any value")
+
+		// Socket-level timeouts. Read/write stay 0 by default: the NDJSON
+		// protocol holds one request open for the stream's lifetime, so a
+		// blanket read/write deadline would cut live streams; the header
+		// timeout alone already closes the slowloris hole.
+		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout: limit on reading request headers (slowloris guard; 0 = none)")
+		readTimeout       = fs.Duration("read-timeout", 0, "http.Server.ReadTimeout: limit on reading a whole request including the body (0 = none; beware long NDJSON streams)")
+		writeTimeout      = fs.Duration("write-timeout", 0, "http.Server.WriteTimeout: limit on writing a response (0 = none; beware long NDJSON streams)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout: keep-alive idle connection limit (0 = none)")
+
+		// Application-level hardening (internal/serve middleware).
+		requestTimeout = fs.Duration("request-timeout", 0, "per-request deadline: past it, unstarted bins fail in-band with the context error (0 = none)")
+		maxInFlight    = fs.Int("max-inflight", 0, "bound on concurrently served requests; excess gets 503 + Retry-After (0 = unbounded)")
+		shedRetryAfter = fs.Duration("shed-retry-after", time.Second, "Retry-After hint on load-shed 503s (needs -max-inflight)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -81,13 +95,27 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	if *scenario != "isp" {
 		cliflag.WarnIgnored(fs, stderr, "icserve", fmt.Sprintf("with -scenario %s", *scenario), "n")
 	}
+	if *maxInFlight <= 0 {
+		cliflag.WarnIgnored(fs, stderr, "icserve", "without -max-inflight", "shed-retry-after")
+	}
 
 	defaultTopology, err := serve.ScenarioSpec(*scenario, *nodes)
 	if err != nil {
 		return err
 	}
 	engine := serve.NewEngine(*workers)
-	srv := &http.Server{Handler: serve.NewHandler(engine, defaultTopology)}
+	handler := serve.NewHandler(engine, defaultTopology,
+		serve.WithRequestTimeout(*requestTimeout),
+		serve.WithMaxInFlight(*maxInFlight),
+		serve.WithShedRetryAfter(*shedRetryAfter),
+	)
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ictm/internal/estimation"
+	"ictm/internal/faults"
 	"ictm/internal/routing"
 	"ictm/internal/serve"
 	"ictm/internal/synth"
@@ -123,6 +124,9 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 			"icserve: warning: -n is ignored with -scenario totem"},
 		{"n with isp", []string{"-scenario", "isp", "-n", "50"}, ""},
 		{"no n", []string{"-scenario", "geant"}, ""},
+		{"shed-retry-after without max-inflight", []string{"-scenario", "isp", "-shed-retry-after", "5s"},
+			"icserve: warning: -shed-retry-after is ignored without -max-inflight"},
+		{"shed-retry-after with max-inflight", []string{"-scenario", "isp", "-max-inflight", "4", "-shed-retry-after", "5s"}, ""},
 	}
 	for _, tc := range cases {
 		// The warning is emitted before the listener opens, so a run
@@ -660,5 +664,111 @@ func TestStatsEndpointAcrossRequests(t *testing.T) {
 	}
 	if err := stopSrv(); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServiceSmokeDegradedGolden pins the exact bytes of a degraded
+// estimate on checked-in smoke files — the CI chaos-smoke step replays
+// the same request with curl: the GeantLike bin corrupted by the lossy
+// fault profile (NaN link reports carried as Missing indices) must
+// answer 200 with an X-IC-Degraded header and a byte-stable response.
+// Regenerate deliberately with -update.
+func TestServiceSmokeDegradedGolden(t *testing.T) {
+	topoPath := filepath.Join("testdata", "smoke_v2_topology.json")
+	priorPath := filepath.Join("testdata", "smoke_v2_prior.json")
+	reqPath := filepath.Join("testdata", "smoke_v2_degraded.json")
+	goldenPath := filepath.Join("testdata", "golden_smoke_v2_degraded_response.json")
+
+	url, stopSrv := startServer(t, "-workers", "2")
+
+	read := func(path string) []byte {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s (regenerate with -update): %v", path, err)
+		}
+		return data
+	}
+	topoBody, priorBody := read(topoPath), read(priorPath)
+	resp := putSpec(t, url+"/v2/topologies/geant", topoBody)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(url+"/v2/topologies/geant/priors", "application/json", bytes.NewReader(priorBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preg serve.PriorRegistration
+	if err := json.NewDecoder(resp.Body).Decode(&preg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if *update {
+		sc, bin := geantBin(t)
+		g, err := sc.Topology().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := routing.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt the observation exactly as a degraded collector would:
+		// the lossy profile noises the counters and drops ~20% of links;
+		// the NaN drops travel as Missing indices (JSON carries no NaN).
+		inj := faults.NewInjector(faults.Lossy(), 1, rm.L)
+		inj.Apply(0, bin.Y, nil)
+		for i, v := range bin.Y {
+			if math.IsNaN(v) {
+				bin.Y[i] = 0
+				bin.Missing = append(bin.Missing, i)
+			}
+		}
+		if len(bin.Missing) == 0 {
+			t.Fatal("lossy profile dropped no links; pick another seed")
+		}
+		var req bytes.Buffer
+		if err := json.NewEncoder(&req).Encode(serve.EstimateRequest{
+			SessionSpec: serve.SessionSpec{Topology: "geant", Prior: preg.Handle},
+			Bins:        []serve.Bin{bin},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reqPath, req.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err = http.Post(url+"/v2/estimate", "application/json", bytes.NewReader(read(reqPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-IC-Degraded"); got != "1" {
+		t.Errorf("X-IC-Degraded = %q, want \"1\"", got)
+	}
+	if err := stopSrv(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want := read(goldenPath)
+	if !bytes.Equal(body, want) {
+		t.Errorf("degraded response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
 	}
 }

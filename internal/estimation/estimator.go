@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ictm/internal/faults"
 	"ictm/internal/parallel"
 	"ictm/internal/routing"
 	"ictm/internal/tm"
@@ -108,6 +109,21 @@ func WithLinkNoise(sigma float64, seed uint64) Option {
 	return func(o *Options) {
 		o.LinkNoiseSigma = sigma
 		o.NoiseSeed = seed
+	}
+}
+
+// WithFaultInjection corrupts the observed link loads of
+// EstimateSeries/Compare through a tiered measurement-fault profile
+// (counter wraparound, sampling noise, stale reports, missing links)
+// before estimation sees them — the robustness test harness. Faults are
+// keyed per (bin, link) from the seed, so results are bit-identical for
+// every worker count and across priors. A zero-value (inactive) profile
+// disables injection. Missing links surface as NaN entries, which the
+// pipeline masks out of the solve rather than failing on.
+func WithFaultInjection(p faults.Profile, seed uint64) Option {
+	return func(o *Options) {
+		o.Fault = p
+		o.FaultSeed = seed
 	}
 }
 
@@ -258,17 +274,42 @@ func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult
 		return nil, fmt.Errorf("%w: series over %d nodes for n=%d routing", ErrInput, truth.N(), rm.N)
 	}
 	noiseRoot := e.opts.noiseStream()
-	results := make([]BinResult, truth.Len())
-	err := parallel.ForEach(e.opts.Workers, truth.Len(), func(t int) error {
+	// observe produces the clean (pre-fault) observation for bin t: link
+	// loads of the truth, perturbed by the session's link-noise policy.
+	// It is a pure function of t, so the fault injector can recompute the
+	// previous bin's observation as a stale source without any cross-bin
+	// ordering dependence — bins stay independently schedulable.
+	observe := func(t int) ([]float64, error) {
 		y, err := rm.LinkLoads(truth.At(t))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if noiseRoot != nil {
 			noise := noiseRoot.DeriveIndex(uint64(t))
 			for i := range y {
 				y[i] *= noise.LogNormal(0, e.opts.LinkNoiseSigma)
 			}
+		}
+		return y, nil
+	}
+	var inj *faults.Injector
+	if e.opts.Fault.Active() {
+		inj = faults.NewInjector(e.opts.Fault, e.opts.FaultSeed, rm.L)
+	}
+	results := make([]BinResult, truth.Len())
+	err := parallel.ForEach(e.opts.Workers, truth.Len(), func(t int) error {
+		y, err := observe(t)
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			var prev []float64
+			if t > 0 && e.opts.Fault.NeedsPrev() {
+				if prev, err = observe(t - 1); err != nil {
+					return err
+				}
+			}
+			inj.Apply(t, y, prev)
 		}
 		est, diag, err := e.EstimateBin(prior, t, y)
 		if err != nil {
@@ -305,6 +346,13 @@ func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult
 			out.Stats.ProjectStalls++
 		}
 		out.Stats.LSQRIterationsTotal += r.Diag.LSQRIterations
+		if r.Diag.Degraded {
+			out.Stats.DegradedBins++
+		}
+		out.Stats.LinksDroppedTotal += r.Diag.LinksDropped
+		if r.Diag.PriorFallback {
+			out.Stats.PriorFallbacks++
+		}
 	}
 	return out, nil
 }

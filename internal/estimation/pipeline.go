@@ -3,11 +3,20 @@ package estimation
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"ictm/internal/faults"
 	"ictm/internal/rng"
 	"ictm/internal/routing"
 	"ictm/internal/tm"
 )
+
+// ErrObservation reports an invalid per-bin observation vector: wrong
+// length, a ±Inf anywhere, or a NaN in a marginal row. A NaN in an
+// internal-link row is NOT an error — it is the in-band marker for a
+// missing link report, which the pipeline degrades around by dropping
+// that link's equation from the solve (see BinDiag.LinksDropped).
+var ErrObservation = errors.New("estimation: invalid observation")
 
 // Options tune the estimation pipeline. The zero value is ready to use.
 //
@@ -61,6 +70,16 @@ type Options struct {
 	// stream keyed by the bin index (not consumed across bins), and
 	// each bin writes only its own result slot.
 	Workers int
+	// Fault injects a tiered measurement-fault profile (counter
+	// wraparound, sampling noise, stale and missing reports) into the
+	// observed link loads of EstimateSeries/Compare, after the
+	// LinkNoiseSigma perturbation. The zero value (and faults.Clean())
+	// disables it. Fault streams are keyed per (bin, link), so faulted
+	// runs keep the workers=1 ≡ workers=N bitwise contract.
+	Fault faults.Profile
+	// FaultSeed seeds the fault streams (so comparisons across priors
+	// see identical telemetry faults).
+	FaultSeed uint64
 }
 
 // noiseStream returns the root link-noise generator, or nil when noise
@@ -100,6 +119,22 @@ type BinDiag struct {
 	// Deliberately excluded from the wire form: the service aggregates it
 	// in its stats instead, keeping v1/v2 response bytes stable.
 	LSQRIterations int `json:"-"`
+	// LinksDropped counts the internal-link equations removed from this
+	// bin's solve because their reports were missing (NaN). Zero on
+	// fully-observed bins, and omitted from the wire then, so clean
+	// responses keep their pre-robustness bytes.
+	LinksDropped int `json:"links_dropped,omitempty"`
+	// Degraded marks a bin estimated from incomplete telemetry: at
+	// least one link equation was dropped (masked solve) or the bin
+	// fell back to the prior entirely. The estimate is finite and
+	// usable; it honours fewer measurements than a clean bin.
+	Degraded bool `json:"degraded,omitempty"`
+	// PriorFallback marks a degraded bin whose surviving link equations
+	// fell below the observability floor (ObservabilityFloor of the
+	// internal links): the projection step was skipped and the estimate
+	// is the prior itself, rebalanced by IPF toward the (intact)
+	// measured marginals.
+	PriorFallback bool `json:"prior_fallback,omitempty"`
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -134,6 +169,55 @@ type RunStats struct {
 	// bins (BinDiag.LSQRIterations): total iterative-solver work, and —
 	// divided by Bins — the mean iterations-to-converge of the run.
 	LSQRIterationsTotal int
+	// DegradedBins counts bins estimated from incomplete telemetry
+	// (BinDiag.Degraded); LinksDroppedTotal sums the link equations
+	// dropped across all bins.
+	DegradedBins      int
+	LinksDroppedTotal int
+	// PriorFallbacks counts degraded bins that fell below the
+	// observability floor and were answered by the prior (rebalanced
+	// toward the measured marginals) instead of a masked solve.
+	PriorFallbacks int
+}
+
+// ObservabilityFloor is the minimum fraction of internal-link equations
+// that must survive masking for the projection step to run: below it
+// the system is too underdetermined for the correction to mean much,
+// and the bin degrades to the registered prior rebalanced by IPF toward
+// the measured marginals (which cannot be masked — a NaN there is
+// ErrObservation).
+const ObservabilityFloor = 0.5
+
+// validateObservation checks one bin's observation vector and derives
+// its row mask: wrong length and ±Inf anywhere are typed errors
+// (ErrObservation), as is NaN in a marginal row; NaN in an internal-
+// link row [0, links) marks that link's report missing and drops its
+// equation. keep is nil when nothing was dropped (the clean fast path
+// allocates nothing).
+func validateObservation(y []float64, rows, links int) (keep []bool, dropped int, err error) {
+	if len(y) != rows {
+		return nil, 0, fmt.Errorf("%w: load vector of %d, want %d", ErrObservation, len(y), rows)
+	}
+	for i, v := range y {
+		if math.IsInf(v, 0) {
+			return nil, 0, fmt.Errorf("%w: row %d is %v", ErrObservation, i, v)
+		}
+		if !math.IsNaN(v) {
+			continue
+		}
+		if i >= links {
+			return nil, 0, fmt.Errorf("%w: marginal row %d is NaN (marginal rows cannot be masked)", ErrObservation, i)
+		}
+		if keep == nil {
+			keep = make([]bool, rows)
+			for j := range keep {
+				keep[j] = true
+			}
+		}
+		keep[i] = false
+		dropped++
+	}
+	return keep, dropped, nil
 }
 
 // EstimateBin runs the full three-step pipeline for one bin.
@@ -149,8 +233,21 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 // IPF non-convergence is not an error: the estimate is returned together
 // with a BinDiag recording the shortfall. It is the shared core of
 // Estimator.EstimateBin and the deprecated free function.
+//
+// The observation is validated first (ErrObservation for wrong length,
+// ±Inf, or NaN marginals). NaN internal-link entries degrade instead of
+// dying: their equations are dropped from the projection (masked solve,
+// always the iterative path — the dense references have no row-mask
+// form), and when fewer than ObservabilityFloor of the links survive,
+// the projection is skipped entirely and the prior itself is rebalanced
+// toward the measured marginals. Either way the bin reports Degraded
+// with LinksDropped in its BinDiag and the estimate stays finite.
 func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
 	diag := BinDiag{IPFConverged: true}
+	keep, dropped, err := validateObservation(y, s.rm.Rows(), s.rm.L)
+	if err != nil {
+		return nil, diag, fmt.Errorf("estimation: bin %d: %w", t, err)
+	}
 	_, ing, eg, err := s.rm.SplitLoads(y)
 	if err != nil {
 		return nil, diag, err
@@ -164,6 +261,17 @@ func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 	}
 	var est *tm.TrafficMatrix
 	switch {
+	case dropped > 0:
+		diag.Degraded = true
+		diag.LinksDropped = dropped
+		if float64(s.rm.L-dropped) < ObservabilityFloor*float64(s.rm.L) {
+			diag.PriorFallback = true
+			est = p.Clone()
+		} else if opts.Weighted { // WeightedDense implies Weighted
+			est, diag.ProjectStalled, diag.LSQRIterations, err = s.ProjectWeightedMaskedReport(p, y, keep)
+		} else {
+			est, diag.ProjectStalled, diag.LSQRIterations, err = s.ProjectMaskedReport(p, y, keep)
+		}
 	case opts.WeightedDense: // implies Weighted
 		est, err = s.ProjectWeightedDense(p, y)
 	case opts.Weighted:

@@ -1,0 +1,215 @@
+package estimation
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ictm/internal/faults"
+	"ictm/internal/routing"
+	"ictm/internal/synth"
+	"ictm/internal/topology"
+)
+
+// TestEstimateBinObservationErrors: structurally invalid observations
+// fail fast with the typed ErrObservation sentinel — wrong length, any
+// ±Inf, or a NaN marginal row (marginals cannot be masked out; the
+// prior and IPF both need them).
+func TestEstimateBinObservationErrors(t *testing.T) {
+	rm, truth, _ := fixture(t, 8, 2, 0, 71)
+	est, err := NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := rm.LinkLoads(truth.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(y []float64) []float64
+		substr  string
+	}{
+		{"short", func(y []float64) []float64 { return y[:len(y)-1] }, "load vector"},
+		{"long", func(y []float64) []float64 { return append(y, 1) }, "load vector"},
+		{"inf-link", func(y []float64) []float64 { y[0] = math.Inf(1); return y }, "row 0"},
+		{"neg-inf-marginal", func(y []float64) []float64 { y[len(y)-1] = math.Inf(-1); return y }, "is -Inf"},
+		{"nan-marginal", func(y []float64) []float64 { y[rm.L] = math.NaN(); return y }, "marginal row"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			y := tc.corrupt(append([]float64(nil), clean...))
+			_, _, err := est.EstimateBin(GravityPrior{}, 0, y)
+			if !errors.Is(err, ErrObservation) {
+				t.Fatalf("err = %v, want ErrObservation", err)
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// TestEstimateBinMaskedSolve: NaN internal-link rows degrade instead of
+// dying — the bin still estimates (finite everywhere, marginals still
+// fitted), and the diag reports how many equations were dropped.
+func TestEstimateBinMaskedSolve(t *testing.T) {
+	rm, truth, _ := fixture(t, 9, 2, 0.05, 72)
+	for _, weighted := range []bool{false, true} {
+		est, err := NewEstimator(rm, WithWeighted(weighted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := rm.LinkLoads(truth.At(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop 3 link reports; keep observability comfortably above the floor.
+		for _, i := range []int{1, 4, 7} {
+			y[i] = math.NaN()
+		}
+		m, diag, err := est.EstimateBin(GravityPrior{}, 0, y)
+		if err != nil {
+			t.Fatalf("weighted=%v: masked bin failed: %v", weighted, err)
+		}
+		if !diag.Degraded || diag.LinksDropped != 3 {
+			t.Fatalf("weighted=%v: diag = %+v, want Degraded with 3 links dropped", weighted, diag)
+		}
+		if diag.PriorFallback {
+			t.Fatalf("weighted=%v: fell back to the prior above the observability floor", weighted)
+		}
+		for k, v := range m.Vec() {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("weighted=%v: estimate entry %d = %v", weighted, k, v)
+			}
+		}
+	}
+}
+
+// TestEstimateBinPriorFallback: when more than half the link equations
+// are missing the projection is skipped — the estimate is the prior
+// rebalanced toward the measured marginals, flagged PriorFallback.
+func TestEstimateBinPriorFallback(t *testing.T) {
+	rm, truth, _ := fixture(t, 8, 2, 0, 73)
+	est, err := NewEstimator(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := rm.LinkLoads(truth.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := rm.L/2 + 1
+	for i := 0; i < dropped; i++ {
+		y[i] = math.NaN()
+	}
+	m, diag, err := est.EstimateBin(GravityPrior{}, 0, y)
+	if err != nil {
+		t.Fatalf("under-observed bin failed: %v", err)
+	}
+	if !diag.Degraded || !diag.PriorFallback || diag.LinksDropped != dropped {
+		t.Fatalf("diag = %+v, want Degraded+PriorFallback with %d links dropped", diag, dropped)
+	}
+	if diag.LSQRIterations != 0 {
+		t.Errorf("prior fallback ran the projection (%d LSQR iterations)", diag.LSQRIterations)
+	}
+	for k, v := range m.Vec() {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("estimate entry %d = %v", k, v)
+		}
+	}
+}
+
+// TestFaultInjectionWorkersBitIdentical extends the determinism
+// contract to faulty telemetry: under the lossy profile (missing links,
+// stale reports, noise — degraded bins, masked solves, occasional prior
+// fallbacks) every worker count must reproduce the sequential run bit
+// for bit, stats included.
+func TestFaultInjectionWorkersBitIdentical(t *testing.T) {
+	rm, truth, _ := fixture(t, 9, 10, 0.05, 74)
+	seq, err := NewEstimator(rm, WithWorkers(1), WithFaultInjection(faults.Lossy(), 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.EstimateSeries(truth, GravityPrior{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.DegradedBins == 0 || want.Stats.LinksDroppedTotal == 0 {
+		t.Fatalf("lossy run not degraded: %+v", want.Stats)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := seq.With(WithWorkers(workers)).EstimateSeries(truth, GravityPrior{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("workers=%d: stats %+v, sequential %+v", workers, got.Stats, want.Stats)
+		}
+		for b := 0; b < want.Estimates.Len(); b++ {
+			sv, pv := want.Estimates.At(b).Vec(), got.Estimates.At(b).Vec()
+			for k := range sv {
+				if sv[k] != pv[k] {
+					t.Fatalf("workers=%d: bin %d entry %d differs: %g vs %g", workers, b, k, pv[k], sv[k])
+				}
+			}
+		}
+		for i := range want.Errors {
+			if want.Errors[i] != got.Errors[i] {
+				t.Fatalf("workers=%d: error[%d] = %g, sequential %g", workers, i, got.Errors[i], want.Errors[i])
+			}
+		}
+	}
+}
+
+// TestISPLikeWeekWithMissingLinks is the ISSUE acceptance scenario: an
+// ISPLike(100) week (reduced bins) with 20% of links unreported per bin
+// completes end-to-end with Degraded flagged — no error, no NaN.
+func TestISPLikeWeekWithMissingLinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ISPLike(100) fixture is slow; run without -short")
+	}
+	const n = 100
+	sc := synth.ISPLike(n)
+	sc.BinsPerWeek = 7
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.BackboneStub(n, 0, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := routing.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := faults.Profile{Name: "miss-20", MissProb: 0.2}
+	est, err := NewEstimator(rm, WithFaultInjection(miss, sc.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.EstimateSeries(d.Series, GravityPrior{})
+	if err != nil {
+		t.Fatalf("degraded week must not error: %v", err)
+	}
+	if res.Stats.DegradedBins == 0 {
+		t.Fatalf("no degraded bins over a 20%% missing-link week: %+v", res.Stats)
+	}
+	if res.Stats.LinksDroppedTotal == 0 {
+		t.Fatal("no links reported dropped")
+	}
+	for b := 0; b < res.Estimates.Len(); b++ {
+		for k, v := range res.Estimates.At(b).Vec() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bin %d entry %d = %v", b, k, v)
+			}
+		}
+		if math.IsNaN(res.Errors[b]) {
+			t.Fatalf("bin %d RelL2 is NaN", b)
+		}
+	}
+	t.Logf("stats: %+v", res.Stats)
+}

@@ -208,6 +208,88 @@ func (s *Solver) ProjectDense(prior *tm.TrafficMatrix, y []float64) (*tm.Traffic
 	return out, nil
 }
 
+// maskObservation returns a copy of y with dropped rows zeroed, so NaN
+// missing-report markers cannot poison the residual arithmetic of a
+// masked solve (the dropped equations contribute nothing either way).
+func maskObservation(y []float64, keep []bool) []float64 {
+	yc := make([]float64, len(y))
+	for i, v := range y {
+		if keep[i] {
+			yc[i] = v
+		}
+	}
+	return yc
+}
+
+// ProjectMaskedReport is ProjectReport for a bin with missing or
+// invalid link reports: rows with keep[i] == false are dropped from the
+// least-squares system (linalg.RowMasked), so the correction is fitted
+// to the surviving equations only — the estimator's graceful-
+// degradation path. The masked view is bitwise-identical to physically
+// removing the rows, which keeps degraded bins inside the pipeline's
+// workers=1 ≡ workers=N determinism contract.
+//
+// Unlike the full-observability path, a stalled masked solve never
+// escalates to the dense SVD reference — the lazily-factored SVD has no
+// per-bin row-mask form — and keeps LSQR's almost-converged minimum-
+// norm iterate instead, reported through stalled.
+func (s *Solver) ProjectMaskedReport(prior *tm.TrafficMatrix, y []float64, keep []bool) (est *tm.TrafficMatrix, stalled bool, iters int, err error) {
+	if len(keep) != s.rm.Rows() {
+		return nil, false, 0, fmt.Errorf("%w: row mask of %d, want %d", ErrInput, len(keep), s.rm.Rows())
+	}
+	res, err := s.unweightedSetup(prior, maskObservation(y, keep))
+	if err != nil {
+		return nil, false, 0, err
+	}
+	for i := range res {
+		if !keep[i] {
+			res[i] = 0
+		}
+	}
+	op := linalg.NewRowMasked(s.rm.CSR(), keep)
+	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("estimation: masked projection: %w", err)
+	}
+	out := prior.Clone()
+	ov := out.Vec()
+	for i := range ov {
+		ov[i] += z[i]
+	}
+	return out, !rep.Converged, rep.Iterations, nil
+}
+
+// ProjectWeightedMaskedReport is the weighted counterpart of
+// ProjectMaskedReport: the prior-weighted correction is fitted against
+// the row-masked, implicitly column-scaled routing operator. As on the
+// unweighted masked path there is no dense fallback — a stalled bin
+// keeps the almost-converged iterate and reports stalled.
+func (s *Solver) ProjectWeightedMaskedReport(prior *tm.TrafficMatrix, y []float64, keep []bool) (est *tm.TrafficMatrix, stalled bool, iters int, err error) {
+	if len(keep) != s.rm.Rows() {
+		return nil, false, 0, fmt.Errorf("%w: row mask of %d, want %d", ErrInput, len(keep), s.rm.Rows())
+	}
+	res, sqrtw, err := s.weightedSetup(prior, maskObservation(y, keep))
+	if err != nil {
+		return nil, false, 0, err
+	}
+	for i := range res {
+		if !keep[i] {
+			res[i] = 0
+		}
+	}
+	op := linalg.NewRowMasked(linalg.NewColScaled(s.rm.CSR(), sqrtw), keep)
+	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("estimation: masked weighted projection: %w", err)
+	}
+	out := prior.Clone()
+	ov := out.Vec()
+	for i := range ov {
+		ov[i] += sqrtw[i] * z[i]
+	}
+	return out, !rep.Converged, rep.Iterations, nil
+}
+
 // weightedSetup validates the inputs of the weighted projection and
 // computes its shared ingredients: the measurement residual y − R·prior
 // and the per-flow column scaling W^{1/2} with W = diag(max(prior,

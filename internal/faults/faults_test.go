@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// loads builds a deterministic observation vector of the given length
+// with large, distinct values (big enough that 1/1000 sampling keeps a
+// signal and wraparound is reachable when scaled).
+func loads(n int, scale float64) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = scale * float64(i+1)
+	}
+	return y
+}
+
+func TestByNameAndNames(t *testing.T) {
+	want := []string{"clean", "lossy", "sampled-1k", "snmp-coarse"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+}
+
+// TestProfiles exercises each registered profile's mechanisms through a
+// table of structural expectations on a corrupted series.
+func TestProfiles(t *testing.T) {
+	const links, bins = 64, 40
+	cases := []struct {
+		name string
+		// wantClean: every entry bit-identical to the input.
+		wantClean bool
+		// wantNaN: some entries must go missing.
+		wantNaN bool
+		// wantChanged: some finite entries must differ from the input.
+		wantChanged bool
+	}{
+		{"clean", true, false, false},
+		{"snmp-coarse", false, false, true},
+		{"sampled-1k", false, false, true},
+		{"lossy", false, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Active(); got == tc.wantClean {
+				t.Fatalf("Active() = %v for %q", got, tc.name)
+			}
+			inj := NewInjector(p, 42, links)
+			series := make([][]float64, bins)
+			orig := make([][]float64, bins)
+			for b := range series {
+				series[b] = loads(links+4, 2e6) // 4 trailing "marginal" rows
+				orig[b] = append([]float64(nil), series[b]...)
+			}
+			inj.ApplySeries(series)
+			var nans, changed int
+			for b := range series {
+				for i, v := range series[b] {
+					if i >= links {
+						if v != orig[b][i] {
+							t.Fatalf("bin %d row %d: marginal row touched (%g -> %g)", b, i, orig[b][i], v)
+						}
+						continue
+					}
+					switch {
+					case math.IsNaN(v):
+						nans++
+					case v != orig[b][i]:
+						changed++
+					}
+					if math.IsInf(v, 0) {
+						t.Fatalf("bin %d link %d: Inf injected", b, i)
+					}
+				}
+			}
+			if tc.wantClean && (nans > 0 || changed > 0) {
+				t.Fatalf("clean profile corrupted %d entries, dropped %d", changed, nans)
+			}
+			if tc.wantNaN != (nans > 0) {
+				t.Fatalf("NaN entries = %d, want some: %v", nans, tc.wantNaN)
+			}
+			if tc.wantChanged != (changed > 0) {
+				t.Fatalf("changed entries = %d, want some: %v", changed, tc.wantChanged)
+			}
+		})
+	}
+}
+
+// TestLossyMissRate pins the lossy profile's drop rate near its nominal
+// 20% over a long series (law of large numbers; the tolerance is wide
+// enough to be seed-stable).
+func TestLossyMissRate(t *testing.T) {
+	const links, bins = 100, 200
+	inj := NewInjector(Lossy(), 7, links)
+	var nans int
+	for b := 0; b < bins; b++ {
+		y := loads(links, 1e6)
+		inj.Apply(b, y, nil)
+		for _, v := range y {
+			if math.IsNaN(v) {
+				nans++
+			}
+		}
+	}
+	rate := float64(nans) / float64(links*bins)
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("lossy miss rate %.3f, want ~0.20", rate)
+	}
+}
+
+// TestWraparound: a load at or above the counter modulus wraps to its
+// remainder; below it the counter is exact.
+func TestWraparound(t *testing.T) {
+	p := Profile{Name: "wrap-only", WrapMod: 1000}
+	inj := NewInjector(p, 1, 3)
+	y := []float64{999, 1000, 2750}
+	inj.Apply(0, y, nil)
+	want := []float64{999, 0, 750}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+// TestStaleUsesPrev: with StaleProb 1 every link repeats the previous
+// bin's observation; the first bin (no predecessor) passes through.
+func TestStaleUsesPrev(t *testing.T) {
+	p := Profile{Name: "stale-only", StaleProb: 1}
+	if !p.NeedsPrev() {
+		t.Fatal("NeedsPrev() = false with StaleProb 1")
+	}
+	inj := NewInjector(p, 3, 4)
+	prev := []float64{10, 20, 30, 40}
+	y := []float64{1, 2, 3, 4}
+	first := append([]float64(nil), y...)
+	inj.Apply(0, first, nil)
+	if !reflect.DeepEqual(first, []float64{1, 2, 3, 4}) {
+		t.Fatalf("first bin went stale without a predecessor: %v", first)
+	}
+	inj.Apply(1, y, prev)
+	if !reflect.DeepEqual(y, prev) {
+		t.Fatalf("Apply with StaleProb 1 = %v, want %v", y, prev)
+	}
+}
+
+// TestApplySeriesStaleSource: series staleness draws from the previous
+// bin's clean values, not its corrupted ones — bin t is a pure function
+// of bins t-1 and t of the input, never of earlier corruption.
+func TestApplySeriesStaleSource(t *testing.T) {
+	p := Profile{Name: "stale-only", StaleProb: 1}
+	inj := NewInjector(p, 3, 2)
+	series := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	inj.ApplySeries(series)
+	want := [][]float64{{1, 2}, {1, 2}, {3, 4}}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("ApplySeries = %v, want %v", series, want)
+	}
+}
+
+// TestDeterminism: equal (profile, seed, t, link) yields equal faults,
+// independent of bin evaluation order and of other bins — the property
+// the pipeline's workers=1 ≡ workers=N contract rests on.
+func TestDeterminism(t *testing.T) {
+	const links, bins = 32, 16
+	mk := func() [][]float64 {
+		s := make([][]float64, bins)
+		for b := range s {
+			s[b] = loads(links, 3e6)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	injA := NewInjector(Lossy(), 99, links)
+	injB := NewInjector(Lossy(), 99, links)
+	// Forward order vs reverse order (staleness disabled by applying
+	// with explicit prevs computed from the clean inputs).
+	clean := mk()
+	for t1 := 0; t1 < bins; t1++ {
+		var prev []float64
+		if t1 > 0 {
+			prev = clean[t1-1]
+		}
+		injA.Apply(t1, a[t1], prev)
+	}
+	for t1 := bins - 1; t1 >= 0; t1-- {
+		var prev []float64
+		if t1 > 0 {
+			prev = clean[t1-1]
+		}
+		injB.Apply(t1, b[t1], prev)
+	}
+	for t1 := range a {
+		for i := range a[t1] {
+			av, bv := a[t1][i], b[t1][i]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("bin %d link %d: order-dependent fault (%g vs %g)", t1, i, av, bv)
+			}
+		}
+	}
+	// A different seed must realize different faults.
+	c := mk()
+	NewInjector(Lossy(), 100, links).Apply(0, c[0], nil)
+	same := true
+	for i := range c[0] {
+		av, cv := a[0][i], c[0][i]
+		if av != cv && !(math.IsNaN(av) && math.IsNaN(cv)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 realized identical faults")
+	}
+}

@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"ictm/internal/rng"
+)
+
+// randomSystem builds a random sparse least-squares system of the rough
+// shape of a routing system (tall, a few entries per row).
+func randomSystem(t *testing.T, rows, cols int, seed uint64) (*Sparse, []float64) {
+	t.Helper()
+	r := rng.New(seed)
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		// 2-4 entries per row at distinct columns.
+		k := 2 + r.Intn(3)
+		used := map[int]bool{}
+		for len(used) < k {
+			c := r.Intn(cols)
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			entries = append(entries, Coord{Row: i, Col: c, Val: 0.25 + r.Float64()})
+		}
+	}
+	s, err := NewSparse(rows, cols, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, rows)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	return s, b
+}
+
+// compactRows builds the physically row-compacted counterpart of a
+// masked system: kept rows renumbered densely, dropped rows absent.
+func compactRows(t *testing.T, s *Sparse, b []float64, keep []bool) (*Sparse, []float64) {
+	t.Helper()
+	dense := s.Dense()
+	var entries []Coord
+	var bc []float64
+	row := 0
+	for i := 0; i < s.Rows(); i++ {
+		if !keep[i] {
+			continue
+		}
+		for j, v := range dense.Row(i) {
+			if v != 0 {
+				entries = append(entries, Coord{Row: row, Col: j, Val: v})
+			}
+		}
+		bc = append(bc, b[i])
+		row++
+	}
+	sc, err := NewSparse(row, s.Cols(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, bc
+}
+
+// TestRowMaskedBitwiseEqualsCompacted is the masked-solve determinism
+// contract: LSQR on the RowMasked view solves the identical problem, bit
+// for bit, as LSQR on a matrix with the dropped rows physically removed.
+func TestRowMaskedBitwiseEqualsCompacted(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 2024} {
+		s, b := randomSystem(t, 120, 49, seed)
+		r := rng.New(seed + 100)
+		keep := make([]bool, s.Rows())
+		kept := 0
+		for i := range keep {
+			keep[i] = r.Float64() > 0.3
+			if keep[i] {
+				kept++
+			}
+		}
+		if kept == 0 || kept == len(keep) {
+			t.Fatalf("degenerate mask for seed %d", seed)
+		}
+		bm := make([]float64, len(b))
+		for i := range b {
+			if keep[i] {
+				bm[i] = b[i]
+			}
+		}
+		xm, repM, err := LSQR(NewRowMasked(s, keep), bm, LSQROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, bc := compactRows(t, s, b, keep)
+		xc, repC, err := LSQR(sc, bc, LSQROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repM != repC {
+			t.Fatalf("seed %d: reports differ: masked %+v, compacted %+v", seed, repM, repC)
+		}
+		for j := range xm {
+			if xm[j] != xc[j] {
+				t.Fatalf("seed %d: x[%d] masked %v != compacted %v (diff %g)",
+					seed, j, xm[j], xc[j], math.Abs(xm[j]-xc[j]))
+			}
+		}
+	}
+}
+
+// TestRowMaskedAllKept: an all-true mask is the identity view.
+func TestRowMaskedAllKept(t *testing.T) {
+	s, b := randomSystem(t, 60, 25, 5)
+	keep := make([]bool, s.Rows())
+	for i := range keep {
+		keep[i] = true
+	}
+	x0, rep0, err := LSQR(s, b, LSQROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, rep1, err := LSQR(NewRowMasked(s, keep), b, LSQROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep0 != rep1 {
+		t.Fatalf("reports differ: %+v vs %+v", rep0, rep1)
+	}
+	for j := range x0 {
+		if x0[j] != x1[j] {
+			t.Fatalf("x[%d] %v != %v", j, x0[j], x1[j])
+		}
+	}
+}
+
+// TestRowMaskedProducts pins the operator semantics directly: dropped
+// rows read as zero rows in both products.
+func TestRowMaskedProducts(t *testing.T) {
+	s, _ := randomSystem(t, 20, 8, 11)
+	keep := make([]bool, 20)
+	for i := range keep {
+		keep[i] = i%3 != 0
+	}
+	m := NewRowMasked(s, keep)
+	if m.Rows() != 20 || m.Cols() != 8 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	x := make([]float64, 8)
+	for j := range x {
+		x[j] = float64(j + 1)
+	}
+	full := make([]float64, 20)
+	s.MulVecTo(full, x)
+	got := make([]float64, 20)
+	m.MulVecTo(got, x)
+	for i := range got {
+		want := full[i]
+		if !keep[i] {
+			want = 0
+		}
+		if got[i] != want {
+			t.Fatalf("MulVecTo row %d = %g, want %g", i, got[i], want)
+		}
+	}
+	u := make([]float64, 20)
+	for i := range u {
+		u[i] = float64(i) - 9.5
+	}
+	uz := make([]float64, 20)
+	for i := range u {
+		if keep[i] {
+			uz[i] = u[i]
+		}
+	}
+	wantT := make([]float64, 8)
+	s.TMulVecTo(wantT, uz)
+	gotT := make([]float64, 8)
+	m.TMulVecTo(gotT, u)
+	for j := range gotT {
+		if gotT[j] != wantT[j] {
+			t.Fatalf("TMulVecTo col %d = %g, want %g", j, gotT[j], wantT[j])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched mask length did not panic")
+		}
+	}()
+	NewRowMasked(s, make([]bool, 3))
+}

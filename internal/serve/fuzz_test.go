@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ictm/internal/estimation"
+)
+
+// FuzzEstimateRequestDecode throws arbitrary bodies at the v2
+// single-shot estimate decoder (decode → dims resolution → bin
+// validation → solve), served through the production middleware chain.
+// The contract: never a panic, never a hang, and every reply is a typed
+// status from the documented set — arbitrary input must not reach an
+// undefined state in the engine. The target stays on the v2 handle path
+// on purpose: fuzzed inline topology specs (v1) could name arbitrarily
+// large builds, which is a resource problem, not a parsing one.
+func FuzzEstimateRequestDecode(f *testing.F) {
+	engine := NewEngine(1)
+	spec := ringSpec(3)
+	if _, _, err := engine.RegisterTopology("t", spec); err != nil {
+		f.Fatal(err)
+	}
+	handle, _, err := engine.RegisterPrior("t", estimation.PriorState{Name: "gravity"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rows, links, err := engine.SpecDims(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := NewHandler(engine, spec)
+
+	// Seed the corpus across the decision points: malformed JSON, bad
+	// handles, wrong-length and non-finite vectors, out-of-range Missing
+	// indices, and one fully valid request reaching the solver.
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"topology":"nope","prior":"pr-x","bins":[{"t":0,"y":[1,2]}]}`))
+	f.Add([]byte(`{"topology":"t","prior":"pr-x"}`))
+	f.Add([]byte(`{"topology":"t","prior":"","bins":[{"t":0,"y":[NaN]}]}`))
+	f.Add([]byte(fmt.Sprintf(`{"topology":"t","prior":%q,"bins":[{"t":0,"y":[1,2,3]}]}`, handle)))
+	f.Add([]byte(fmt.Sprintf(`{"topology":"t","prior":%q,"bins":[{"t":0,"y":[],"missing":[-1]}]}`, handle)))
+	valid := Bin{T: 0, Y: make([]float64, rows)}
+	for i := range valid.Y {
+		valid.Y[i] = float64(i + 1)
+	}
+	valid.Missing = []int{0, links - 1}
+	body, err := json.Marshal(EstimateRequest{
+		SessionSpec: SessionSpec{Topology: "t", Prior: handle},
+		Bins:        []Bin{valid},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(body)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v2/estimate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+			http.StatusConflict, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("untyped status %d for body %q", rec.Code, body)
+		}
+		if rec.Code == http.StatusOK {
+			var out Response
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+		}
+	})
+}

@@ -2,12 +2,17 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ictm/internal/estimation"
 	"ictm/internal/synth"
@@ -125,6 +130,45 @@ func (h *handler) streamSpec(req Request) (StreamSpec, error) {
 type handler struct {
 	engine          *Engine
 	defaultTopology topology.Spec
+
+	// requestTimeout bounds each request's context (0 = unbounded);
+	// maxInFlight caps concurrently served requests (0 = unbounded),
+	// refusals answering 503 with Retry-After shedRetryAfter.
+	requestTimeout time.Duration
+	maxInFlight    int
+	shedRetryAfter time.Duration
+	sem            chan struct{}
+
+	// panics counts handler panics recovered to 500s; shed counts
+	// requests refused by the admission gate. Both overlay the engine's
+	// Stats in the /v1/stats reply.
+	panics atomic.Int64
+	shed   atomic.Int64
+}
+
+// HandlerOption configures the hardening envelope NewHandler wraps
+// around the API routes.
+type HandlerOption func(*handler)
+
+// WithRequestTimeout bounds every request's context: past the deadline,
+// bins that have not started solving fail in-band with the context
+// error and the handler returns. Zero (the default) means no deadline.
+func WithRequestTimeout(d time.Duration) HandlerOption {
+	return func(h *handler) { h.requestTimeout = d }
+}
+
+// WithMaxInFlight bounds concurrently served requests: beyond the bound
+// new requests (except /healthz) are refused immediately with 503 and a
+// Retry-After header instead of queueing without limit. Zero (the
+// default) disables admission control.
+func WithMaxInFlight(n int) HandlerOption {
+	return func(h *handler) { h.maxInFlight = n }
+}
+
+// WithShedRetryAfter sets the Retry-After hint on load-shed 503s
+// (default 1s; meaningful only with WithMaxInFlight).
+func WithShedRetryAfter(d time.Duration) HandlerOption {
+	return func(h *handler) { h.shedRetryAfter = d }
 }
 
 // NewHandler returns the service's HTTP API over the engine.
@@ -175,8 +219,30 @@ type handler struct {
 //
 // defaultTopology applies to v1 requests that name neither a topology
 // nor a scenario.
-func NewHandler(e *Engine, defaultTopology topology.Spec) http.Handler {
-	h := &handler{engine: e, defaultTopology: defaultTopology}
+//
+// Every route is served through the hardening envelope: a panic in any
+// handler is recovered to a 500 (and counted) without killing the
+// process, requests run under the configured context deadline, and the
+// bounded-admission gate sheds load with 503s once maxInFlight requests
+// are in progress (/healthz is exempt so liveness probes see past an
+// overload). Single-shot estimate replies carry an X-IC-Degraded header
+// with the count of partially-estimated (masked) bins when any bin in
+// the batch degraded.
+func NewHandler(e *Engine, defaultTopology topology.Spec, opts ...HandlerOption) http.Handler {
+	h := &handler{engine: e, defaultTopology: defaultTopology, shedRetryAfter: time.Second}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.maxInFlight > 0 {
+		h.sem = make(chan struct{}, h.maxInFlight)
+	}
+	return h.wrap(h.routes())
+}
+
+// routes builds the bare API mux (no hardening envelope) — split from
+// NewHandler so tests can wrap arbitrary routes with the production
+// middleware chain.
+func (h *handler) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/v1/stats", h.stats)
@@ -188,6 +254,73 @@ func NewHandler(e *Engine, defaultTopology topology.Spec) http.Handler {
 	mux.HandleFunc("POST /v2/topologies/{key}/priors", h.registerPrior)
 	mux.HandleFunc("POST /v2/estimate", h.estimateV2)
 	return mux
+}
+
+// wrap applies the hardening chain around the routes: recovery
+// outermost (a panic below any layer still answers 500), then bounded
+// admission, then the per-request deadline.
+func (h *handler) wrap(next http.Handler) http.Handler {
+	return h.recoverPanics(h.admit(h.deadline(next)))
+}
+
+// recoverPanics converts a handler panic into a 500 (best-effort: a
+// committed response cannot change status) and keeps the process
+// serving. http.ErrAbortHandler passes through — it is net/http's
+// sanctioned way to abort a response and is not a defect.
+func (h *handler) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			h.panics.Add(1)
+			http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit is the bounded-admission gate: with maxInFlight configured, a
+// request either takes a slot for its lifetime or is shed immediately
+// with 503 + Retry-After. /healthz bypasses the gate so liveness
+// probing keeps working while the service is saturated.
+func (h *handler) admit(next http.Handler) http.Handler {
+	if h.sem == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			h.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(h.shedRetryAfter.Seconds()))))
+			http.Error(w, "serve: overloaded, retry later", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// deadline bounds the request context; the engine's per-bin work checks
+// it, so an expired request stops consuming solver time on bins that
+// have not started.
+func (h *handler) deadline(next http.Handler) http.Handler {
+	if h.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), h.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
@@ -204,13 +337,17 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, h.engine.Stats())
+	st := h.engine.Stats()
+	st.Panics = h.panics.Load()
+	st.RequestsShed = h.shed.Load()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // httpError maps engine errors onto typed statuses: 400 for malformed
-// payloads and specs (ErrStream), 404 for unknown or mismatched handles
-// (ErrNotFound), 409 for conflicting registrations (ErrConflict), 503
-// while draining (ErrDraining), 500 otherwise.
+// payloads and specs (ErrStream) and structurally invalid bins
+// (ErrBadBin), 404 for unknown or mismatched handles (ErrNotFound),
+// 409 for conflicting registrations (ErrConflict), 503 while draining
+// (ErrDraining), 500 otherwise.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
@@ -220,10 +357,37 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		code = http.StatusConflict
-	case errors.Is(err, ErrStream):
+	case errors.Is(err, ErrStream), errors.Is(err, ErrBadBin):
 		code = http.StatusBadRequest
 	}
 	http.Error(w, err.Error(), code)
+}
+
+// validateBins rejects structurally invalid load vectors of a
+// single-shot request at the decode boundary — wrong length, NaN or
+// ±Inf entries (unreachable through standard JSON but cheap to refuse
+// for in-process callers), or Missing indices outside the internal-link
+// range — with the typed ErrBadBin, mapped to 400. Streaming bins skip
+// this: their status is committed before the bad line arrives, so they
+// keep the in-band per-bin error contract.
+func validateBins(bins []Bin, rows, links int) error {
+	for k, b := range bins {
+		if len(b.Y) != rows {
+			return fmt.Errorf("%w: bins[%d] (t=%d): load vector of %d, want %d", ErrBadBin, k, b.T, len(b.Y), rows)
+		}
+		for i, v := range b.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: bins[%d] (t=%d): row %d is %v", ErrBadBin, k, b.T, i, v)
+			}
+		}
+		for _, i := range b.Missing {
+			if i < 0 || i >= links {
+				return fmt.Errorf("%w: bins[%d] (t=%d): missing index %d out of range (L=%d internal links)",
+					ErrBadBin, k, b.T, i, links)
+			}
+		}
+	}
+	return nil
 }
 
 // writeJSON emits one JSON reply with a trailing newline (matching the
@@ -334,7 +498,7 @@ func (h *handler) estimate(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			return h.engine.OpenInline(spec)
+			return h.engine.OpenInline(r.Context(), spec)
 		})
 		return
 	}
@@ -348,7 +512,16 @@ func (h *handler) estimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	results, err := h.engine.EstimateBatchInline(spec, req.Bins)
+	rows, links, err := h.engine.SpecDims(spec.Topology)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := validateBins(req.Bins, rows, links); err != nil {
+		httpError(w, err)
+		return
+	}
+	results, err := h.engine.EstimateBatchInline(r.Context(), spec, req.Bins)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -368,7 +541,7 @@ func (h *handler) estimateV2(w http.ResponseWriter, r *http.Request) {
 			if len(req.Bins) > 0 {
 				return nil, errHeaderBins
 			}
-			return h.engine.Open(req.SessionSpec)
+			return h.engine.Open(r.Context(), req.SessionSpec)
 		})
 		return
 	}
@@ -377,7 +550,16 @@ func (h *handler) estimateV2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: decode request: %v", ErrStream, err))
 		return
 	}
-	results, err := h.engine.EstimateBatch(req.SessionSpec, req.Bins)
+	rows, links, err := h.engine.SessionDims(req.SessionSpec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := validateBins(req.Bins, rows, links); err != nil {
+		httpError(w, err)
+		return
+	}
+	results, err := h.engine.EstimateBatch(r.Context(), req.SessionSpec, req.Bins)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -388,12 +570,25 @@ func (h *handler) estimateV2(w http.ResponseWriter, r *http.Request) {
 // writeBatch answers a single-shot request with all bins at once.
 // Marshal happens before committing the status: an unencodable estimate
 // (a non-finite float produced by a degenerate observation) must become
-// a 500, not a truncated 200 body.
+// a 500, not a truncated 200 body. Partially-estimated batches are
+// flagged with an X-IC-Degraded header carrying the degraded-bin count,
+// so clients that only look at the status still notice masked solves.
+// (NDJSON streams have no equivalent: headers are committed before the
+// first bin solves — stream clients read per-line Diag.Degraded.)
 func (h *handler) writeBatch(w http.ResponseWriter, results []Estimate) {
 	body, err := json.Marshal(Response{Results: results})
 	if err != nil {
 		httpError(w, fmt.Errorf("encode response: %w", err))
 		return
+	}
+	degraded := 0
+	for _, est := range results {
+		if est.Diag.Degraded {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		w.Header().Set("X-IC-Degraded", strconv.Itoa(degraded))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(body, '\n')) //nolint:errcheck // client gone; nothing to do

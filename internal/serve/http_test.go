@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -122,7 +123,7 @@ func TestHTTPEstimateBatchMatchesEngineBitwise(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	want, err := NewEngine(1).EstimateBatchInline(StreamSpec{
+	want, err := NewEngine(1).EstimateBatchInline(context.Background(), StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)
@@ -172,7 +173,7 @@ func TestHTTPEstimateNDJSONStream(t *testing.T) {
 		t.Errorf("Content-Type %q", ct)
 	}
 
-	want, err := NewEngine(1).EstimateBatchInline(StreamSpec{
+	want, err := NewEngine(1).EstimateBatchInline(context.Background(), StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)

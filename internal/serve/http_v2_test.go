@@ -261,6 +261,7 @@ func TestHTTPErrorMapping(t *testing.T) {
 		want int
 	}{
 		{"stream", fmt.Errorf("wrap: %w", ErrStream), http.StatusBadRequest},
+		{"bad bin", fmt.Errorf("wrap: %w", ErrBadBin), http.StatusBadRequest},
 		{"not found", fmt.Errorf("wrap: %w", ErrNotFound), http.StatusNotFound},
 		{"conflict", fmt.Errorf("wrap: %w", ErrConflict), http.StatusConflict},
 		{"draining", fmt.Errorf("wrap: %w", ErrDraining), http.StatusServiceUnavailable},

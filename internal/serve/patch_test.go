@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -122,7 +123,7 @@ func TestEnginePatchTopologyLifecycle(t *testing.T) {
 	// A session against the derived key must reuse the warm patched
 	// solver, not build a new pool entry.
 	pooled := engine.Stats().Topologies
-	got, err := engine.EstimateBatch(SessionSpec{Topology: res.Key, Prior: handle}, bins)
+	got, err := engine.EstimateBatch(context.Background(), SessionSpec{Topology: res.Key, Prior: handle}, bins)
 	if err != nil {
 		t.Fatalf("EstimateBatch(derived): %v", err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -110,11 +111,11 @@ func TestSessionEstimateMatchesInlineBitwise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := engine.EstimateBatch(SessionSpec{Topology: "isp12", Prior: handle}, bins)
+		got, err := engine.EstimateBatch(context.Background(), SessionSpec{Topology: "isp12", Prior: handle}, bins)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		want, err := engine.EstimateBatchInline(StreamSpec{Topology: sc.Topology(), Prior: state}, bins)
+		want, err := engine.EstimateBatchInline(context.Background(), StreamSpec{Topology: sc.Topology(), Prior: state}, bins)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,14 +153,14 @@ func TestSessionUnknownHandles(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := engine.Open(SessionSpec{Topology: "nope", Prior: handle}); !errors.Is(err, ErrNotFound) {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "nope", Prior: handle}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown topology: %v", err)
 	}
-	if _, err := engine.Open(SessionSpec{Topology: "a", Prior: "pr-bogus"}); !errors.Is(err, ErrNotFound) {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "a", Prior: "pr-bogus"}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown prior: %v", err)
 	}
 	// A prior handle is scoped to the topology it was registered for.
-	if _, err := engine.Open(SessionSpec{Topology: "b", Prior: handle}); !errors.Is(err, ErrNotFound) {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "b", Prior: handle}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("cross-topology prior: %v", err)
 	}
 }
@@ -192,11 +193,11 @@ func TestRegistryLRUCascade(t *testing.T) {
 	if st.RegisteredTopologies != 2 || st.RegistrationsEvicted == 0 {
 		t.Fatalf("stats after eviction: %+v", st)
 	}
-	if _, err := engine.Open(SessionSpec{Topology: "b", Prior: "whatever"}); !errors.Is(err, ErrNotFound) {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "b", Prior: "whatever"}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("evicted topology must 404: %v", err)
 	}
 	// A survived with its prior.
-	if _, err := engine.Open(SessionSpec{Topology: "a", Prior: ha}); err != nil {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "a", Prior: ha}); err != nil {
 		t.Errorf("surviving registration broken: %v", err)
 	}
 }
@@ -227,7 +228,7 @@ func TestPriorRegistryLRUBounded(t *testing.T) {
 	if st.RegisteredPriors != 2 {
 		t.Fatalf("registered priors = %d, want 2", st.RegisteredPriors)
 	}
-	if _, err := engine.Open(SessionSpec{Topology: "a", Prior: h1}); err != nil {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "a", Prior: h1}); err != nil {
 		t.Errorf("recently-used prior evicted: %v", err)
 	}
 }
@@ -245,7 +246,7 @@ func TestEngineDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stream, err := engine.Open(SessionSpec{Topology: "isp12", Prior: handle})
+	stream, err := engine.Open(context.Background(), SessionSpec{Topology: "isp12", Prior: handle})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,10 +261,10 @@ func TestEngineDrain(t *testing.T) {
 	if _, _, err := engine.RegisterPrior("isp12", estimation.PriorState{Name: "gravity"}); !errors.Is(err, ErrDraining) {
 		t.Errorf("register prior while draining: %v", err)
 	}
-	if _, err := engine.Open(SessionSpec{Topology: "isp12", Prior: handle}); !errors.Is(err, ErrDraining) {
+	if _, err := engine.Open(context.Background(), SessionSpec{Topology: "isp12", Prior: handle}); !errors.Is(err, ErrDraining) {
 		t.Errorf("open while draining: %v", err)
 	}
-	if _, err := engine.OpenInline(StreamSpec{Topology: sc.Topology()}); !errors.Is(err, ErrDraining) {
+	if _, err := engine.OpenInline(context.Background(), StreamSpec{Topology: sc.Topology()}); !errors.Is(err, ErrDraining) {
 		t.Errorf("open inline while draining: %v", err)
 	}
 

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ictm/internal/estimation"
+	"ictm/internal/faults"
+	"ictm/internal/rng"
+)
+
+// TestEngineMissingLinksDegrade: a bin with Missing indices estimates
+// under a row mask — finite everywhere, Diag.Degraded set, and the
+// engine's degraded telemetry advanced. An out-of-range Missing index
+// is an in-band per-bin error on the engine paths, like every other
+// per-bin defect.
+func TestEngineMissingLinksDegrade(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:3]
+	bins[1].Missing = []int{0, 2, 5}
+	bins[2].Missing = []int{999999}
+	engine := NewEngine(2)
+	got, err := engine.EstimateBatchInline(context.Background(), StreamSpec{
+		Topology: sc.Topology(),
+		Prior:    estimation.PriorState{Name: "gravity"},
+	}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Error != "" || got[0].Diag.Degraded {
+		t.Fatalf("clean bin: %+v", got[0])
+	}
+	if got[1].Error != "" || !got[1].Diag.Degraded || got[1].Diag.LinksDropped != 3 {
+		t.Fatalf("masked bin: err=%q diag=%+v", got[1].Error, got[1].Diag)
+	}
+	for k, v := range got[1].Estimate {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("masked bin entry %d = %v", k, v)
+		}
+	}
+	if got[2].Error == "" || !strings.Contains(got[2].Error, "missing index") {
+		t.Fatalf("out-of-range Missing index: %+v", got[2])
+	}
+	st := engine.Stats()
+	if st.DegradedBins != 1 || st.LinksDropped != 3 || st.BinErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestEngineContextCancelled: bins submitted under an already-cancelled
+// context fail in-band (the stream stays orderly) instead of hanging or
+// killing the batch.
+func TestEngineContextCancelled(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:2]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := NewEngine(1).EstimateBatchInline(ctx, StreamSpec{
+		Topology: sc.Topology(),
+		Prior:    estimation.PriorState{Name: "gravity"},
+	}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, est := range got {
+		if est.Error == "" || !strings.Contains(est.Error, "context canceled") {
+			t.Fatalf("bin %d: %+v", i, est)
+		}
+	}
+}
+
+// TestHTTPPanicRecovery: a panic below the middleware chain answers 500
+// — counted, with the process (and every later request) healthy. This
+// drives the production wrap() chain around an injected faulty route,
+// the chaos-injection seam for the serve layer.
+func TestHTTPPanicRecovery(t *testing.T) {
+	h := &handler{engine: NewEngine(1), shedRetryAfter: time.Second}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("injected fault")
+	})
+	mux.HandleFunc("/fine", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := httptest.NewServer(h.wrap(mux))
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/boom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic request %d: status %d", i, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "injected fault") {
+			t.Fatalf("panic request %d: body %q", i, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("process unhealthy after panics: %d", resp.StatusCode)
+	}
+	if got := h.panics.Load(); got != 2 {
+		t.Fatalf("panics counter = %d, want 2", got)
+	}
+}
+
+// TestHTTPLoadShedding: with maxInFlight=1, a second concurrent request
+// is refused 503 with the configured Retry-After while /healthz keeps
+// answering; once the slot frees, service resumes and the shed counter
+// shows in /v1/stats.
+func TestHTTPLoadShedding(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)
+	engine := NewEngine(1)
+	srv := httptest.NewServer(NewHandler(engine, sc.Topology(),
+		WithMaxInFlight(1), WithShedRetryAfter(2*time.Second)))
+	defer srv.Close()
+
+	// Occupy the only slot with an open NDJSON stream: read one estimate
+	// so the request is known to be inside the handler.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/estimate", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+	go func() {
+		enc := json.NewEncoder(pw)
+		enc.Encode(Request{Scenario: "isp", N: sc.N}) //nolint:errcheck
+		enc.Encode(bins[0])                           //nolint:errcheck
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var first Estimate
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+
+	shed, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, shed.Body) //nolint:errcheck
+	shed.Body.Close()
+	if shed.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated stats request: %d, want 503", shed.StatusCode)
+	}
+	if ra := shed.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation: %d", hz.StatusCode)
+	}
+
+	// Release the slot and confirm recovery + telemetry.
+	pw.Close()
+	if err := dec.Decode(new(Estimate)); err != io.EOF {
+		t.Fatalf("stream did not end cleanly: %v", err)
+	}
+	ok, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("stats after release: %d", ok.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(ok.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestsShed < 1 {
+		t.Fatalf("RequestsShed = %d, want >= 1", st.RequestsShed)
+	}
+}
+
+// TestHTTPRequestTimeout: past the per-request deadline, bins fail
+// in-band with the context error — the request completes (200, one
+// result per bin) instead of burning solver time or hanging.
+func TestHTTPRequestTimeout(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:2]
+	engine := NewEngine(1)
+	// Warm the solver pool without a deadline so only the estimate
+	// request races the 1ns budget.
+	if _, _, err := engine.SpecDims(sc.Topology()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(engine, sc.Topology(), WithRequestTimeout(time.Nanosecond)))
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/v1/estimate", Request{Scenario: "isp", N: sc.N, Bins: bins})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out Response
+	decodeInto(t, resp, &out)
+	if len(out.Results) != len(bins) {
+		t.Fatalf("%d results for %d bins", len(out.Results), len(bins))
+	}
+	for i, est := range out.Results {
+		if est.Error == "" || !strings.Contains(est.Error, "context deadline exceeded") {
+			t.Fatalf("bin %d: %+v", i, est)
+		}
+	}
+}
+
+// TestHTTPDegradedHeader: a single-shot batch containing masked bins
+// answers 200 with X-IC-Degraded carrying the degraded-bin count; a
+// clean batch carries no such header (response bytes unchanged).
+func TestHTTPDegradedHeader(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)[:3]
+	srv, _ := newTestServer(t, 2, sc)
+
+	if resp := putJSON(t, srv.URL+"/v2/topologies/isp12", sc.Topology()); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	resp := postJSON(t, srv.URL+"/v2/topologies/isp12/priors", estimation.PriorState{Name: "gravity"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST prior: %d", resp.StatusCode)
+	}
+	var preg PriorRegistration
+	decodeInto(t, resp, &preg)
+
+	clean := postJSON(t, srv.URL+"/v2/estimate", EstimateRequest{
+		SessionSpec: SessionSpec{Topology: "isp12", Prior: preg.Handle},
+		Bins:        bins[:1],
+	})
+	if clean.StatusCode != http.StatusOK || clean.Header.Get("X-IC-Degraded") != "" {
+		t.Fatalf("clean batch: %d X-IC-Degraded=%q", clean.StatusCode, clean.Header.Get("X-IC-Degraded"))
+	}
+
+	bins[1].Missing = []int{1, 3}
+	bins[2].Missing = []int{0}
+	deg := postJSON(t, srv.URL+"/v2/estimate", EstimateRequest{
+		SessionSpec: SessionSpec{Topology: "isp12", Prior: preg.Handle},
+		Bins:        bins,
+	})
+	if deg.StatusCode != http.StatusOK {
+		t.Fatalf("degraded batch: %d", deg.StatusCode)
+	}
+	if got := deg.Header.Get("X-IC-Degraded"); got != "2" {
+		t.Fatalf("X-IC-Degraded = %q, want \"2\"", got)
+	}
+	var out Response
+	decodeInto(t, deg, &out)
+	for i, est := range out.Results {
+		if est.Error != "" {
+			t.Fatalf("bin %d errored: %q", i, est.Error)
+		}
+		wantDeg := i > 0
+		if est.Diag.Degraded != wantDeg {
+			t.Fatalf("bin %d Degraded = %v", i, est.Diag.Degraded)
+		}
+		for k, v := range est.Estimate {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bin %d entry %d = %v", i, k, v)
+			}
+		}
+	}
+}
+
+// TestHTTPBadBinsRejected: structurally invalid bins in single-shot
+// requests are 400s at the decode boundary (typed ErrBadBin), for both
+// protocol versions.
+func TestHTTPBadBinsRejected(t *testing.T) {
+	sc, d := testScenario(t)
+	good := testBins(t, sc, d)[:1]
+	srv, _ := newTestServer(t, 1, sc)
+
+	if resp := putJSON(t, srv.URL+"/v2/topologies/isp12", sc.Topology()); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	resp := postJSON(t, srv.URL+"/v2/topologies/isp12/priors", estimation.PriorState{Name: "gravity"})
+	var preg PriorRegistration
+	decodeInto(t, resp, &preg)
+
+	cases := []struct {
+		name    string
+		mutate  func(b *Bin)
+		wantMsg string
+	}{
+		{"short", func(b *Bin) { b.Y = b.Y[:3] }, "load vector"},
+		{"long", func(b *Bin) { b.Y = append(b.Y, 1) }, "load vector"},
+		{"missing-negative", func(b *Bin) { b.Missing = []int{-1} }, "missing index"},
+		{"missing-marginal", func(b *Bin) { b.Missing = []int{len(b.Y)} }, "missing index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bin := Bin{T: 0, Y: append([]float64(nil), good[0].Y...)}
+			tc.mutate(&bin)
+			v1 := postJSON(t, srv.URL+"/v1/estimate", Request{Scenario: "isp", N: sc.N, Bins: []Bin{bin}})
+			if v1.StatusCode != http.StatusBadRequest {
+				t.Errorf("v1: status %d, want 400", v1.StatusCode)
+			}
+			v2 := postJSON(t, srv.URL+"/v2/estimate", EstimateRequest{
+				SessionSpec: SessionSpec{Topology: "isp12", Prior: preg.Handle},
+				Bins:        []Bin{bin},
+			})
+			body, _ := io.ReadAll(v2.Body)
+			if v2.StatusCode != http.StatusBadRequest {
+				t.Errorf("v2: status %d, want 400", v2.StatusCode)
+			}
+			if !strings.Contains(string(body), tc.wantMsg) {
+				t.Errorf("v2 body %q does not mention %q", body, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestHTTPChaosLossyTelemetry is the end-to-end chaos drill (run under
+// -race in CI): concurrent clients feed the hardened server telemetry
+// corrupted by the lossy fault profile — missing links carried as
+// Missing indices, interleaved with structurally broken bins on the
+// streaming path — and the server answers every bin exactly once, never
+// emits a non-finite estimate, and stays healthy.
+func TestHTTPChaosLossyTelemetry(t *testing.T) {
+	sc, d := testScenario(t)
+	bins := testBins(t, sc, d)
+	srv, engine := newTestServer(t, 2, sc)
+
+	// Corrupt the observations exactly as a degraded collector would:
+	// the lossy profile marks NaNs, which travel as Missing indices.
+	inj := faults.NewInjector(faults.Lossy(), 11, len(bins[0].Y)-4*sc.N)
+	prev := make([]float64, len(bins[0].Y))
+	for i := range bins {
+		cleanY := append([]float64(nil), bins[i].Y...)
+		var p []float64
+		if i > 0 {
+			p = prev
+		}
+		inj.Apply(i, bins[i].Y, p)
+		copy(prev, cleanY)
+		for k, v := range bins[i].Y {
+			if math.IsNaN(v) {
+				bins[i].Y[k] = 0
+				bins[i].Missing = append(bins[i].Missing, k)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w))
+			for rep := 0; rep < 3; rep++ {
+				lo := r.Intn(len(bins) - 2)
+				batch := bins[lo : lo+2]
+				resp := postJSON(t, srv.URL+"/v1/estimate", Request{Scenario: "isp", N: sc.N, Bins: batch})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d", w, resp.StatusCode)
+					return
+				}
+				var out Response
+				decodeInto(t, resp, &out)
+				if len(out.Results) != len(batch) {
+					t.Errorf("worker %d: %d results for %d bins", w, len(out.Results), len(batch))
+					return
+				}
+				for _, est := range out.Results {
+					if est.Error != "" {
+						t.Errorf("worker %d: bin %d errored: %q", w, est.T, est.Error)
+						return
+					}
+					for k, v := range est.Estimate {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Errorf("worker %d: bin %d entry %d = %v", w, est.T, k, v)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Streaming path, with a structurally broken line mixed in: the bad
+	// bin reports in-band, every other bin still answers.
+	var buf strings.Builder
+	hdr, _ := json.Marshal(Request{Scenario: "isp", N: sc.N})
+	buf.Write(append(hdr, '\n'))
+	lines := 0
+	for i := 0; i < 4; i++ {
+		b := bins[i]
+		if i == 2 {
+			b = Bin{T: b.T, Y: b.Y[:3]} // wrong length: in-band error
+		}
+		bl, _ := json.Marshal(b)
+		buf.Write(append(bl, '\n'))
+		lines++
+	}
+	resp, err := http.Post(srv.URL+"/v1/estimate", NDJSONContentType, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < lines; i++ {
+		var est Estimate
+		if err := dec.Decode(&est); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if i == 2 {
+			if est.Error == "" || !strings.Contains(est.Error, "load vector") {
+				t.Fatalf("broken line answered %+v", est)
+			}
+			continue
+		}
+		if est.Error != "" {
+			t.Fatalf("line %d errored: %q", i, est.Error)
+		}
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("unhealthy after chaos: %d", hz.StatusCode)
+	}
+	st := engine.Stats()
+	if st.DegradedBins == 0 || st.LinksDropped == 0 {
+		t.Fatalf("no degradation recorded: %+v", st)
+	}
+	if st.BinErrors == 0 {
+		t.Fatalf("broken stream line not counted: %+v", st)
+	}
+}

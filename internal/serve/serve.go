@@ -23,11 +23,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +55,13 @@ var ErrConflict = errors.New("serve: conflicting registration")
 // ErrDraining reports that the engine is shutting down and refuses new
 // work: mapped to 503 so load balancers retry elsewhere.
 var ErrDraining = errors.New("serve: draining")
+
+// ErrBadBin reports a structurally invalid load vector in a single-shot
+// request — wrong length, a NaN or ±Inf entry, or an out-of-range
+// Missing index — rejected at the decode boundary and mapped to 400.
+// (On streaming paths the same defects stay in-band per-bin errors: the
+// response status is committed before the bad line arrives.)
+var ErrBadBin = errors.New("serve: invalid bin")
 
 // defaultBuffer is the per-stream backpressure allowance beyond the
 // worker count: how many completed-but-unconsumed bins a stream may
@@ -80,6 +89,12 @@ const defaultMaxPriors = 256
 type Bin struct {
 	T int       `json:"t"`
 	Y []float64 `json:"y"`
+	// Missing lists internal-link rows whose counters went unreported
+	// this bin (JSON cannot carry NaN, so absence travels as indices).
+	// The engine masks those equations out of the solve and flags the
+	// bin's estimate Degraded instead of failing it. Indices must lie in
+	// [0, L); marginal rows cannot be missing.
+	Missing []int `json:"missing,omitempty"`
 }
 
 // SessionSpec fixes an estimation session's context by reference: a
@@ -205,6 +220,18 @@ type Stats struct {
 	// mean iterations-to-converge — the early-warning signal for a
 	// patched topology whose routing system turned ill-conditioned.
 	LSQRIterations int64 `json:"lsqr_iterations"`
+	// DegradedBins counts bins estimated under a row mask (missing link
+	// reports), LinksDropped the equations those bins lost in total, and
+	// PriorFallbacks the bins so under-observed the projection was
+	// skipped for the prior — the service-wide view of telemetry health.
+	DegradedBins   int64 `json:"degraded_bins"`
+	LinksDropped   int64 `json:"links_dropped"`
+	PriorFallbacks int64 `json:"prior_fallbacks"`
+	// Panics and RequestsShed are filled by the HTTP layer: handler
+	// panics recovered to 500s, and requests refused 503 by the bounded
+	// in-flight admission gate.
+	Panics       int64 `json:"panics"`
+	RequestsShed int64 `json:"requests_shed"`
 }
 
 // Engine is the shared, long-lived estimation core. It is safe for
@@ -235,6 +262,9 @@ type Engine struct {
 	stalls    atomic.Int64
 	denseFB   atomic.Int64
 	lsqrIters atomic.Int64
+	degraded  atomic.Int64
+	dropped   atomic.Int64
+	priorFB   atomic.Int64
 }
 
 // solverEntry is one topology's lazily-built estimation session. The
@@ -725,7 +755,10 @@ func (s *Stream) Out() <-chan Estimate { return s.out }
 // semantics for unknown or mismatched handles) and the pooled estimator
 // is derived with the session's pipeline toggles. A per-bin failure is
 // reported on that bin's Estimate.Error and the stream keeps serving.
-func (e *Engine) Open(s SessionSpec) (*Stream, error) {
+// Cancelling ctx fails bins that have not started yet the same in-band
+// way (bins already solving run to completion — a solve is milliseconds
+// and its result may already be on the wire).
+func (e *Engine) Open(ctx context.Context, s SessionSpec) (*Stream, error) {
 	if err := e.checkAccepting(); err != nil {
 		return nil, err
 	}
@@ -733,7 +766,7 @@ func (e *Engine) Open(s SessionSpec) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.open(est, rm, prior, s.Weighted, s.SkipIPF), nil
+	return e.open(ctx, est, rm, prior, s.Weighted, s.SkipIPF), nil
 }
 
 // OpenInline validates the v1 inline stream context, lazily builds (or
@@ -742,7 +775,7 @@ func (e *Engine) Open(s SessionSpec) (*Stream, error) {
 // exactly the per-request cost the register-once API (Open with a
 // SessionSpec) removes. It remains as the engine face of the v1 wire
 // protocol.
-func (e *Engine) OpenInline(spec StreamSpec) (*Stream, error) {
+func (e *Engine) OpenInline(ctx context.Context, spec StreamSpec) (*Stream, error) {
 	if err := e.checkAccepting(); err != nil {
 		return nil, err
 	}
@@ -754,23 +787,48 @@ func (e *Engine) OpenInline(spec StreamSpec) (*Stream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: prior: %v", ErrStream, err)
 	}
-	return e.open(est, rm, prior, spec.Weighted, spec.SkipIPF), nil
+	return e.open(ctx, est, rm, prior, spec.Weighted, spec.SkipIPF), nil
+}
+
+// binObservation turns a wire Bin into the estimator's observation:
+// length-checked, Missing indices validated against the link range and
+// marked NaN on a copy (the pipeline's in-band missing marker). The Y
+// slice itself is never mutated — it may alias a caller's buffer.
+func binObservation(b Bin, rm *routing.Matrix) ([]float64, error) {
+	if len(b.Y) != rm.Rows() {
+		return nil, fmt.Errorf("bin %d: load vector of %d, want %d (L=%d internal links + 2n=%d marginal rows)",
+			b.T, len(b.Y), rm.Rows(), rm.L, 2*rm.N)
+	}
+	if len(b.Missing) == 0 {
+		return b.Y, nil
+	}
+	y := append([]float64(nil), b.Y...)
+	for _, i := range b.Missing {
+		if i < 0 || i >= rm.L {
+			return nil, fmt.Errorf("bin %d: missing index %d out of range (L=%d internal links; marginal rows cannot be missing)",
+				b.T, i, rm.L)
+		}
+		y[i] = math.NaN()
+	}
+	return y, nil
 }
 
 // open starts the estimation pipeline over resolved resources. The
 // session estimator is derived from the pooled base so every projection
 // runs against the shared read-only solver.
-func (e *Engine) open(base *estimation.Estimator, rm *routing.Matrix, prior estimation.Prior, weighted, skipIPF bool) *Stream {
+func (e *Engine) open(ctx context.Context, base *estimation.Estimator, rm *routing.Matrix, prior estimation.Prior, weighted, skipIPF bool) *Stream {
 	est := base.With(estimation.WithWeighted(weighted), estimation.WithSkipIPF(skipIPF))
-	rows := rm.Rows()
 	e.streams.Add(1)
 
 	pipe := parallel.NewPipeline(e.workers, e.buffer, func(b Bin) (Estimate, error) {
-		if len(b.Y) != rows {
-			return Estimate{T: b.T}, fmt.Errorf("bin %d: load vector of %d, want %d (L=%d internal links + 2n=%d marginal rows)",
-				b.T, len(b.Y), rows, rm.L, 2*rm.N)
+		if err := ctx.Err(); err != nil {
+			return Estimate{T: b.T}, fmt.Errorf("bin %d: %w", b.T, err)
 		}
-		x, diag, err := est.EstimateBin(prior, b.T, b.Y)
+		y, err := binObservation(b, rm)
+		if err != nil {
+			return Estimate{T: b.T}, err
+		}
+		x, diag, err := est.EstimateBin(prior, b.T, y)
 		if err != nil {
 			return Estimate{T: b.T}, err
 		}
@@ -794,6 +852,13 @@ func (e *Engine) open(base *estimation.Estimator, rm *routing.Matrix, prior esti
 				}
 				if est.Diag.WeightedDenseFallback {
 					e.denseFB.Add(1)
+				}
+				if est.Diag.Degraded {
+					e.degraded.Add(1)
+					e.dropped.Add(int64(est.Diag.LinksDropped))
+				}
+				if est.Diag.PriorFallback {
+					e.priorFB.Add(1)
 				}
 				e.lsqrIters.Add(int64(est.Diag.LSQRIterations))
 			}
@@ -823,8 +888,8 @@ func drainBatch(s *Stream, bins []Bin) []Estimate {
 
 // EstimateBatch is the one-shot convenience over Open: estimate a bin
 // slice against registered resources and collect the results in order.
-func (e *Engine) EstimateBatch(s SessionSpec, bins []Bin) ([]Estimate, error) {
-	stream, err := e.Open(s)
+func (e *Engine) EstimateBatch(ctx context.Context, s SessionSpec, bins []Bin) ([]Estimate, error) {
+	stream, err := e.Open(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -834,8 +899,8 @@ func (e *Engine) EstimateBatch(s SessionSpec, bins []Bin) ([]Estimate, error) {
 // EstimateBatchInline is the one-shot convenience over OpenInline (the
 // v1 compatibility path; new clients register once and use
 // EstimateBatch with a SessionSpec).
-func (e *Engine) EstimateBatchInline(spec StreamSpec, bins []Bin) ([]Estimate, error) {
-	stream, err := e.OpenInline(spec)
+func (e *Engine) EstimateBatchInline(ctx context.Context, spec StreamSpec, bins []Bin) ([]Estimate, error) {
+	stream, err := e.OpenInline(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -866,7 +931,39 @@ func (e *Engine) Stats() Stats {
 		ProjectStalls:          e.stalls.Load(),
 		WeightedDenseFallbacks: e.denseFB.Load(),
 		LSQRIterations:         e.lsqrIters.Load(),
+		DegradedBins:           e.degraded.Load(),
+		LinksDropped:           e.dropped.Load(),
+		PriorFallbacks:         e.priorFB.Load(),
 	}
+}
+
+// SpecDims resolves a topology descriptor to its observation dimensions
+// (rows = L + 2n total, links = L internal-link rows), pooling the
+// solver on the way — the HTTP layer's handle for validating
+// single-shot bins before opening a stream.
+func (e *Engine) SpecDims(spec topology.Spec) (rows, links int, err error) {
+	if err := e.checkAccepting(); err != nil {
+		return 0, 0, err
+	}
+	_, rm, err := e.estimatorFor(spec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	return rm.Rows(), rm.L, nil
+}
+
+// SessionDims resolves a registered session's observation dimensions;
+// unknown or mismatched handles fail with the same ErrNotFound
+// semantics as Open.
+func (e *Engine) SessionDims(s SessionSpec) (rows, links int, err error) {
+	if err := e.checkAccepting(); err != nil {
+		return 0, 0, err
+	}
+	_, rm, _, err := e.resolveSession(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rm.Rows(), rm.L, nil
 }
 
 // LinkLoads is a convenience for tests and clients generating synthetic

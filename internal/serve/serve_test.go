@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -77,7 +78,7 @@ func TestEngineMatchesEstimateBinBitwise(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		engine := NewEngine(workers)
-		got, err := engine.EstimateBatchInline(spec, bins)
+		got, err := engine.EstimateBatchInline(context.Background(), spec, bins)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -174,7 +175,7 @@ func TestEnginePerBinErrorsFlowInBand(t *testing.T) {
 	bins := testBins(t, sc, d)[:3]
 	bins[1] = Bin{T: 1, Y: []float64{1, 2, 3}} // wrong length
 	engine := NewEngine(2)
-	got, err := engine.EstimateBatchInline(StreamSpec{
+	got, err := engine.EstimateBatchInline(context.Background(), StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "gravity"},
 	}, bins)
@@ -197,19 +198,19 @@ func TestEnginePerBinErrorsFlowInBand(t *testing.T) {
 // Open with ErrStream.
 func TestEngineOpenRejectsBadSpecs(t *testing.T) {
 	engine := NewEngine(1)
-	if _, err := engine.OpenInline(StreamSpec{
+	if _, err := engine.OpenInline(context.Background(), StreamSpec{
 		Topology: topology.Spec{Family: "bogus", N: 5},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("bad topology: %v", err)
 	}
-	if _, err := engine.OpenInline(StreamSpec{
+	if _, err := engine.OpenInline(context.Background(), StreamSpec{
 		Topology: topology.Spec{Family: topology.FamilyRingChords, N: 6, Seed: 1},
 		Prior:    estimation.PriorState{Name: "bogus"},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("bad prior: %v", err)
 	}
 	// A failed topology build is cached as its error, not rebuilt.
-	if _, err := engine.OpenInline(StreamSpec{
+	if _, err := engine.OpenInline(context.Background(), StreamSpec{
 		Topology: topology.Spec{Family: "bogus", N: 5},
 	}); !errors.Is(err, ErrStream) {
 		t.Errorf("cached bad topology: %v", err)
@@ -223,7 +224,7 @@ func TestEngineStreamUnbounded(t *testing.T) {
 	sc, d := testScenario(t)
 	bins := testBins(t, sc, d)
 	engine := NewEngine(4)
-	stream, err := engine.OpenInline(StreamSpec{
+	stream, err := engine.OpenInline(context.Background(), StreamSpec{
 		Topology: sc.Topology(),
 		Prior:    estimation.PriorState{Name: "ic-stable-f", F: 0.25},
 		SkipIPF:  true,

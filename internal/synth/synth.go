@@ -26,6 +26,7 @@ import (
 	"math"
 	"strings"
 
+	"ictm/internal/faults"
 	"ictm/internal/netflow"
 	"ictm/internal/parallel"
 	"ictm/internal/rng"
@@ -99,6 +100,14 @@ type Scenario struct {
 	// bit-identical for every value — Workers tunes wall-clock only and
 	// is deliberately not part of scenario identity.
 	Workers int
+
+	// FaultProfile names a measurement-fault profile from
+	// internal/faults ("clean", "snmp-coarse", "sampled-1k", "lossy";
+	// empty = none) that consumers apply to link-load *observations*
+	// derived from this scenario (icgen -loads-out, icest). Generate
+	// itself always produces clean ground truth: faults corrupt
+	// telemetry readings of the truth, never the truth.
+	FaultProfile string
 }
 
 // Validate checks the scenario invariants.
@@ -126,6 +135,11 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("%w: SamplingRate=%g", ErrScenario, sc.SamplingRate)
 	case sc.SamplingRate > 0 && sc.AvgPacketBytes <= 0:
 		return fmt.Errorf("%w: sampling needs AvgPacketBytes", ErrScenario)
+	}
+	if sc.FaultProfile != "" {
+		if _, err := faults.ByName(sc.FaultProfile); err != nil {
+			return fmt.Errorf("%w: %v", ErrScenario, err)
+		}
 	}
 	return nil
 }
