@@ -312,6 +312,61 @@ func BenchmarkEstimationISPLike100(b *testing.B) { benchEstimationISPLike(b, 100
 // 40 000 OD flows per bin.
 func BenchmarkEstimationISPLike200(b *testing.B) { benchEstimationISPLike(b, 200) }
 
+// --- warm-started series benchmarks (blocked LSQRMulti vs per-bin) ---
+
+// benchEstimateSeriesISPLike measures the steady-state series sweep the
+// warm-start PR targets: a 32-bin ISPLike week (two full warm chunks)
+// against a pre-built estimation session, solver startup excluded —
+// unlike benchEstimationISPLike, which includes it. Workers is pinned to
+// 1 so the pair compares solver paths, not scheduling.
+func benchEstimateSeriesISPLike(b *testing.B, n int, warm bool) {
+	b.Helper()
+	sc := synth.ISPLike(n)
+	sc.BinsPerWeek = 32
+	sc.Weeks = 1
+	d, err := synth.Generate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm := benchISPRouting(b, n)
+	opts := []EstimatorOption{estimation.WithWorkers(1)}
+	if warm {
+		opts = append(opts, estimation.WithWarmStart(true))
+	}
+	est, err := estimation.NewEstimator(rm, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := est.EstimateSeries(d.Series, GravityPrior{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm && r.Stats.WarmStartedBins == 0 {
+			b.Fatal("warm series never warm-started a bin")
+		}
+	}
+}
+
+// BenchmarkEstimateSeriesCold100 sweeps the 32-bin ISPLike(100) series
+// through the default per-bin path (one standalone LSQR per bin).
+func BenchmarkEstimateSeriesCold100(b *testing.B) { benchEstimateSeriesISPLike(b, 100, false) }
+
+// BenchmarkEstimateSeriesWarm100 sweeps the same series through the
+// warm-started blocked path (LSQRMulti blocks of 8, warm-chained within
+// 16-bin chunks). The PR 8 acceptance gate pins the Cold/Warm ratio via
+// benchcheck -min-ratio.
+func BenchmarkEstimateSeriesWarm100(b *testing.B) { benchEstimateSeriesISPLike(b, 100, true) }
+
+// BenchmarkEstimateSeriesCold200 is the cold path at n=200 (40 000 OD
+// flows per bin).
+func BenchmarkEstimateSeriesCold200(b *testing.B) { benchEstimateSeriesISPLike(b, 200, false) }
+
+// BenchmarkEstimateSeriesWarm200 is the blocked warm path at n=200.
+func BenchmarkEstimateSeriesWarm200(b *testing.B) { benchEstimateSeriesISPLike(b, 200, true) }
+
 // --- topology-mutation benchmarks (incremental patch vs full rebuild) ---
 
 // benchPatchSetup builds the live-mutation fixture: the ISPLike(100)

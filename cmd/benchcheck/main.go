@@ -13,12 +13,20 @@
 // pins speedup claims (an incremental path vs its from-scratch
 // equivalent) in relative terms, immune to host-speed drift.
 //
+// -max-allocs pins a benchmark's allocation count: "Name=N" fails when
+// the median allocs/op of BenchmarkName (the bench output must carry
+// -benchmem/ReportAllocs columns) exceeds N. Allocation counts are
+// deterministic where ns/op is noisy, so an allocs pin catches a
+// regressed steady-state path (a per-op buffer that used to come from a
+// pool) exactly, immune to host speed entirely.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'NewSolver|ProjectWeighted' -benchtime 100ms -count 5 . | tee bench.txt
 //	benchcheck -bench bench.txt -baseline BENCH_pr2.json -baseline BENCH_pr3.json \
 //	    -max-ratio 2 -require BenchmarkNewSolverSparse,BenchmarkProjectWeightedLSQR \
-//	    -min-ratio BenchmarkTopologyRebuild/BenchmarkTopologyPatch=10
+//	    -min-ratio BenchmarkTopologyRebuild/BenchmarkTopologyPatch=10 \
+//	    -max-allocs BenchmarkEngineRegisteredPrior=200
 package main
 
 import (
@@ -59,28 +67,38 @@ type baselineFile struct {
 //
 //	BenchmarkNewSolverSparse-8   	 5	 239 ns/op	 64 B/op	 1 allocs/op
 //
-// capturing the name (GOMAXPROCS suffix split off separately) and ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+// capturing the name (GOMAXPROCS suffix split off separately), ns/op,
+// and — when the run carried -benchmem/ReportAllocs — allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
 
-// parseBench collects every measured ns/op per benchmark name.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// parseBench collects every measured ns/op — and, for lines that carry
+// the -benchmem columns, allocs/op — per benchmark name.
+func parseBench(r io.Reader) (ns, allocs map[string][]float64, err error) {
+	ns = make(map[string][]float64)
+	allocs = make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		ns[m[1]] = append(ns[m[1]], v)
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			}
+			allocs[m[1]] = append(allocs[m[1]], a)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return ns, allocs, nil
 }
 
 // ratioGate is one parsed -min-ratio constraint:
@@ -111,6 +129,30 @@ func parseRatioGates(specs []string) ([]ratioGate, error) {
 	return gates, nil
 }
 
+// allocGate is one parsed -max-allocs constraint: median allocs/op of
+// Name must not exceed Max.
+type allocGate struct {
+	Name string
+	Max  float64
+}
+
+// parseAllocGates parses repeated "BenchmarkName=N" specs.
+func parseAllocGates(specs []string) ([]allocGate, error) {
+	var gates []allocGate
+	for _, spec := range specs {
+		name, maxStr, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-max-allocs %q: want BenchmarkName=N", spec)
+		}
+		max, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("-max-allocs %q: N must be a non-negative number", spec)
+		}
+		gates = append(gates, allocGate{Name: name, Max: max})
+	}
+	return gates, nil
+}
+
 // median returns the median of a non-empty sample.
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
@@ -127,7 +169,7 @@ func median(xs []float64) float64 {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var baselines, minRatios multiFlag
+	var baselines, minRatios, maxAllocs multiFlag
 	var (
 		benchPath = fs.String("bench", "-", `go test -bench output ("-" = stdin)`)
 		maxRatio  = fs.Float64("max-ratio", 2, "fail when median ns/op exceeds baseline by more than this factor")
@@ -135,6 +177,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	fs.Var(&baselines, "baseline", "baseline JSON file (repeatable; BENCH_pr*.json layout)")
 	fs.Var(&minRatios, "min-ratio", `measured-pair speedup floor "Numerator/Denominator=ratio" (repeatable): median(Numerator) must stay >= ratio x median(Denominator)`)
+	fs.Var(&maxAllocs, "max-allocs", `allocation pin "BenchmarkName=N" (repeatable): median allocs/op must stay <= N (bench output needs -benchmem columns)`)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
@@ -148,6 +191,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-max-ratio %g must be positive", *maxRatio)
 	}
 	gates, err := parseRatioGates(minRatios)
+	if err != nil {
+		return err
+	}
+	allocGates, err := parseAllocGates(maxAllocs)
 	if err != nil {
 		return err
 	}
@@ -180,7 +227,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	measured, err := parseBench(in)
+	measured, measuredAllocs, err := parseBench(in)
 	if err != nil {
 		return fmt.Errorf("parse bench output: %w", err)
 	}
@@ -254,6 +301,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if ratio < gate.Min {
 			regressions = append(regressions,
 				fmt.Sprintf("%s/%s: measured %.2fx below the %gx floor", gate.Num, gate.Den, ratio, gate.Min))
+		}
+	}
+	// Allocation pins fail loudly when the benchmark is absent or its run
+	// lacked the -benchmem columns — a silently unenforced pin is exactly
+	// the failure mode -require exists to prevent.
+	for _, gate := range allocGates {
+		samples, ok := measuredAllocs[gate.Name]
+		if !ok {
+			if _, ran := measured[gate.Name]; ran {
+				return fmt.Errorf("max-allocs %s: measured without allocs/op (run with -benchmem or ReportAllocs)", gate.Name)
+			}
+			return fmt.Errorf("max-allocs %s: not measured (renamed or deleted?)", gate.Name)
+		}
+		med := median(samples)
+		fmt.Fprintf(stdout, "%-40s %14.0f allocs/op (pin %g)\n", gate.Name, med, gate.Max)
+		if med > gate.Max {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: median %.0f allocs/op above the %g pin", gate.Name, med, gate.Max))
 		}
 	}
 	if len(regressions) > 0 {

@@ -41,7 +41,7 @@ func write(t *testing.T, name, content string) string {
 }
 
 func TestParseBenchMediansAndSuffixes(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleBench))
+	got, allocs, err := parseBench(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +56,14 @@ func TestParseBenchMediansAndSuffixes(t *testing.T) {
 	}
 	if _, ok := got["BenchmarkUnpinnedExtra"]; !ok {
 		t.Error("fractional ns/op line not parsed")
+	}
+	// Allocs columns are parsed where present and absent where the line
+	// carried only ns/op.
+	if samples := allocs["BenchmarkNewSolverSparse"]; len(samples) != 3 || median(samples) != 1 {
+		t.Errorf("allocs samples = %v, want three 1s", samples)
+	}
+	if _, ok := allocs["BenchmarkEstimationISPLike100"]; ok {
+		t.Error("allocs recorded for a line without -benchmem columns")
 	}
 }
 
@@ -172,6 +180,50 @@ func TestRunMinRatioGate(t *testing.T) {
 	}
 }
 
+// TestRunMaxAllocsGate: the allocation pin passes at or below N, fails
+// above it naming the benchmark, and errors when the pinned benchmark
+// is missing or was run without -benchmem — an unenforceable pin must
+// never pass silently.
+func TestRunMaxAllocsGate(t *testing.T) {
+	bench := write(t, "bench.txt", sampleBench)
+	baseline := write(t, "base.json", sampleBaseline)
+	var out, errBuf bytes.Buffer
+
+	// Median allocs/op of NewSolverSparse is exactly 1: the pin is inclusive.
+	args := []string{"-bench", bench, "-baseline", baseline,
+		"-max-allocs", "BenchmarkNewSolverSparse=1"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("at-pin allocs gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op (pin 1)") {
+		t.Errorf("report missing allocs-gate line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"-bench", bench, "-baseline", baseline,
+		"-max-allocs", "BenchmarkNewSolverSparse=0"}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("1 alloc/op cleared a 0 pin:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkNewSolverSparse") || !strings.Contains(err.Error(), "above the 0 pin") {
+		t.Errorf("allocs failure lacks offender/pin: %v", err)
+	}
+
+	err = run([]string{"-bench", bench, "-baseline", baseline,
+		"-max-allocs", "BenchmarkGone=5"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "not measured") {
+		t.Errorf("missing pinned benchmark not reported: %v", err)
+	}
+
+	// Measured, but its lines carry no -benchmem columns: the pin cannot
+	// be evaluated and must say why.
+	err = run([]string{"-bench", bench, "-baseline", baseline,
+		"-max-allocs", "BenchmarkEstimationISPLike100=5"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "without allocs/op") {
+		t.Errorf("allocs-less pinned benchmark not reported: %v", err)
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	bench := write(t, "bench.txt", sampleBench)
 	baseline := write(t, "base.json", sampleBaseline)
@@ -190,6 +242,8 @@ func TestRunBadInputs(t *testing.T) {
 		"min-ratio no =":  {"-bench", bench, "-baseline", baseline, "-min-ratio", "A/B"},
 		"min-ratio no /":  {"-bench", bench, "-baseline", baseline, "-min-ratio", "AB=3"},
 		"min-ratio neg":   {"-bench", bench, "-baseline", baseline, "-min-ratio", "A/B=-1"},
+		"max-allocs no =": {"-bench", bench, "-baseline", baseline, "-max-allocs", "BenchmarkX"},
+		"max-allocs neg":  {"-bench", bench, "-baseline", baseline, "-max-allocs", "BenchmarkX=-1"},
 	} {
 		if err := run(args, &out, &errBuf); err == nil {
 			t.Errorf("%s: want error", name)

@@ -127,6 +127,28 @@ func WithFaultInjection(p faults.Profile, seed uint64) Option {
 	}
 }
 
+// WithWarmStart switches EstimateSeries to the warm-started, blocked
+// solve path: bins are partitioned into fixed-size contiguous chunks (a
+// function of the series length only, never of the worker count), and
+// within each chunk the clean unweighted full-observability bins are
+// solved in blocks of up to warmBlockK right-hand sides by one
+// linalg.LSQRMulti call, each block warm-started from the previous
+// block's converged correction — the first block of every chunk starts
+// cold, so chunks stay independent and the workers=1 ≡ workers=N
+// bitwise contract holds for any worker count.
+//
+// Warm estimates are NOT bit-identical to the cold default: both
+// converge to the same LSQR tolerance (1e-13), but a warm solve returns
+// x0 + min-norm(residual system) instead of the minimum-norm solution
+// of the full system, trading the per-bin minimum-norm tie-break for
+// continuity with the previous bin's correction — a deliberate choice
+// for slowly-varying traffic, where the previous correction is the
+// better prior belief about the null-space component. Masked, weighted
+// and dense bins are never blocked or warm-started: they solve exactly
+// as the default path solves them. BinDiag.WarmStarted and
+// RunStats.WarmStartedBins report which bins took the warm path.
+func WithWarmStart(on bool) Option { return func(o *Options) { o.WarmStart = on } }
+
 // withOptions imports a legacy flat Options bag wholesale; it backs the
 // deprecated free-function wrappers.
 func withOptions(legacy Options) Option { return func(o *Options) { *o = legacy } }
@@ -296,32 +318,79 @@ func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult
 	if e.opts.Fault.Active() {
 		inj = faults.NewInjector(e.opts.Fault, e.opts.FaultSeed, rm.L)
 	}
-	results := make([]BinResult, truth.Len())
-	err := parallel.ForEach(e.opts.Workers, truth.Len(), func(t int) error {
-		y, err := observe(t)
-		if err != nil {
-			return err
+	bins := truth.Len()
+	// When the fault profile consumes the previous bin's clean
+	// observation (stale reports), materialize every observation exactly
+	// once up front and share it read-only, instead of re-synthesizing
+	// bin t-1's loads and noise inside bin t — the old path did the full
+	// observation work twice per bin. The precomputed vectors are bit-
+	// identical to on-demand synthesis (observe is a pure function of t),
+	// so estimates are unchanged; bins just stop paying for their
+	// neighbor. Each bin still gets a private copy of its own vector,
+	// because Apply corrupts y in place while obs[t] must stay clean for
+	// bin t+1.
+	var obs [][]float64
+	if inj != nil && e.opts.Fault.NeedsPrev() {
+		obs = make([][]float64, bins)
+		if err := parallel.ForEach(e.opts.Workers, bins, func(t int) error {
+			y, err := observe(t)
+			if err != nil {
+				return err
+			}
+			obs[t] = y
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// observed returns bin t's observation with faults applied — owned
+	// by the caller, safe to mutate and to hold subslices of.
+	observed := func(t int) ([]float64, error) {
+		var y []float64
+		if obs != nil {
+			y = append([]float64(nil), obs[t]...)
+		} else {
+			var err error
+			if y, err = observe(t); err != nil {
+				return nil, err
+			}
 		}
 		if inj != nil {
 			var prev []float64
-			if t > 0 && e.opts.Fault.NeedsPrev() {
-				if prev, err = observe(t - 1); err != nil {
-					return err
-				}
+			if t > 0 && obs != nil {
+				prev = obs[t-1]
 			}
 			inj.Apply(t, y, prev)
 		}
-		est, diag, err := e.EstimateBin(prior, t, y)
-		if err != nil {
-			return err
-		}
+		return y, nil
+	}
+	results := make([]BinResult, bins)
+	// finishResult scores one estimated bin against the truth and stores
+	// it — shared by the cold per-bin fan-out and the warm chunked path.
+	finishResult := func(t int, est *tm.TrafficMatrix, diag BinDiag) error {
 		relErr, err := tm.RelL2(truth.At(t), est)
 		if err != nil {
 			return fmt.Errorf("estimation: bin %d: %w", t, err)
 		}
 		results[t] = BinResult{Estimate: est, RelL2: relErr, Diag: diag}
 		return nil
-	})
+	}
+	var err error
+	if e.opts.WarmStart {
+		err = e.estimateSeriesWarm(prior, bins, observed, finishResult)
+	} else {
+		err = parallel.ForEach(e.opts.Workers, bins, func(t int) error {
+			y, err := observed(t)
+			if err != nil {
+				return err
+			}
+			est, diag, err := e.EstimateBin(prior, t, y)
+			if err != nil {
+				return err
+			}
+			return finishResult(t, est, diag)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -352,6 +421,12 @@ func (e *Estimator) EstimateSeries(truth *tm.Series, prior Prior) (*SeriesResult
 		out.Stats.LinksDroppedTotal += r.Diag.LinksDropped
 		if r.Diag.PriorFallback {
 			out.Stats.PriorFallbacks++
+		}
+		if r.Diag.DenseDowngraded {
+			out.Stats.DenseDowngrades++
+		}
+		if r.Diag.WarmStarted {
+			out.Stats.WarmStartedBins++
 		}
 	}
 	return out, nil

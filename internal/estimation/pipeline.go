@@ -42,14 +42,18 @@ type Options struct {
 	// of the weighted step (Solver.ProjectWeightedDense) and implies
 	// Weighted. It exists for cross-checking the fast path — the two
 	// agree to well below 1e-6 relative — and costs O((L+2n)²·n²) per
-	// bin.
+	// bin. Bins with missing link reports cannot run it (the dense path
+	// has no row-mask form): they downgrade to the masked iterative
+	// solve and report BinDiag.DenseDowngraded.
 	WeightedDense bool
 	// Dense selects the dense SVD reference implementation of the
 	// unweighted step (Solver.ProjectDense). It exists for cross-checking
 	// the iterative fast path — the two agree to well below 1e-8
 	// relative — and pays the one-time O((L+2n)²·n²) factorization the
 	// default path eliminated. Ignored when Weighted/WeightedDense is
-	// set.
+	// set. As with WeightedDense, bins with missing link reports
+	// downgrade to the masked iterative solve and report
+	// BinDiag.DenseDowngraded.
 	Dense bool
 	// LinkNoiseSigma injects multiplicative lognormal noise into the
 	// observed link loads (failure injection / SNMP-error emulation).
@@ -80,6 +84,20 @@ type Options struct {
 	// FaultSeed seeds the fault streams (so comparisons across priors
 	// see identical telemetry faults).
 	FaultSeed uint64
+	// WarmStart switches EstimateSeries to the warm-started, blocked
+	// solve path: bins are partitioned into fixed-size contiguous chunks
+	// (a function of the series length only — never of the worker
+	// count), and within each chunk the clean unweighted bins are solved
+	// in blocks of up to warmBlockK right-hand sides by linalg.LSQRMulti,
+	// each block warm-started from the previous block's converged
+	// correction (the first block of every chunk starts cold). Output is
+	// bit-identical for every Workers value, but NOT bit-identical to
+	// the cold default: warm-started solves converge to the same
+	// tolerance from a different starting iterate, trading the per-bin
+	// minimum-norm tie-break for continuity with the previous bin's
+	// correction (see WithWarmStart). Masked, weighted and dense bins
+	// always solve exactly as the default path does.
+	WarmStart bool
 }
 
 // noiseStream returns the root link-noise generator, or nil when noise
@@ -135,6 +153,23 @@ type BinDiag struct {
 	// is the prior itself, rebalanced by IPF toward the (intact)
 	// measured marginals.
 	PriorFallback bool `json:"prior_fallback,omitempty"`
+	// DenseDowngraded marks a bin that requested a dense reference
+	// projection (Options.Dense or Options.WeightedDense) but could not
+	// run it because link reports were missing: the dense SVD paths have
+	// no row-mask form, so the bin was solved by the masked iterative
+	// path instead (or fell back to the prior below the observability
+	// floor). Previously this downgrade was silent, which let a dense
+	// cross-check sweep quietly stop cross-checking under faults. Only
+	// ever set on degraded bins, so clean responses keep their exact
+	// pre-existing wire bytes.
+	DenseDowngraded bool `json:"dense_downgraded,omitempty"`
+	// WarmStarted marks a bin whose LSQR solve was warm-started from a
+	// previous bin's converged correction (Options.WarmStart blocked
+	// path; always false on the default cold path and on masked,
+	// weighted or dense bins). Local-only like LSQRIterations: the
+	// series layer aggregates it into RunStats.WarmStartedBins, keeping
+	// response bytes stable.
+	WarmStarted bool `json:"-"`
 }
 
 // BinResult is the outcome of estimating a single time bin.
@@ -166,9 +201,22 @@ type RunStats struct {
 	// carry an almost-converged estimate.
 	ProjectStalls int
 	// LSQRIterationsTotal sums the LSQR iterations consumed across all
-	// bins (BinDiag.LSQRIterations): total iterative-solver work, and —
-	// divided by Bins — the mean iterations-to-converge of the run.
+	// bins (BinDiag.LSQRIterations) — the run's total iterative-solver
+	// work. Note it is NOT safe to divide by Bins for a mean
+	// iterations-to-converge: bins answered by a dense reference path or
+	// by the prior fallback run no iterative solve and contribute 0, so
+	// the quotient understates the per-solve cost whenever
+	// WeightedDenseFallbacks, PriorFallbacks or dense-option bins are
+	// present. Divide by the count of iteratively solved bins instead
+	// (Bins minus those).
 	LSQRIterationsTotal int
+	// WarmStartedBins counts bins whose solve was warm-started from a
+	// previous bin's converged correction (BinDiag.WarmStarted) — only
+	// ever non-zero under Options.WarmStart. Together with
+	// LSQRIterationsTotal it quantifies what warm-starting saved: the
+	// same series estimated cold shows the difference in total
+	// iterations.
+	WarmStartedBins int
 	// DegradedBins counts bins estimated from incomplete telemetry
 	// (BinDiag.Degraded); LinksDroppedTotal sums the link equations
 	// dropped across all bins.
@@ -178,14 +226,24 @@ type RunStats struct {
 	// observability floor and were answered by the prior (rebalanced
 	// toward the measured marginals) instead of a masked solve.
 	PriorFallbacks int
+	// DenseDowngrades counts bins that requested a dense reference
+	// projection but were downgraded to an iterative (or prior-fallback)
+	// solve because link reports were missing (BinDiag.DenseDowngraded).
+	// A non-zero count on a dense cross-check sweep means part of the
+	// sweep did not actually exercise the dense path.
+	DenseDowngrades int
 }
 
 // ObservabilityFloor is the minimum fraction of internal-link equations
-// that must survive masking for the projection step to run: below it
-// the system is too underdetermined for the correction to mean much,
-// and the bin degrades to the registered prior rebalanced by IPF toward
-// the measured marginals (which cannot be masked — a NaN there is
-// ErrObservation).
+// that must survive masking for the projection step to run: strictly
+// below it the system is too underdetermined for the correction to mean
+// much, and the bin degrades to the registered prior rebalanced by IPF
+// toward the measured marginals (which cannot be masked — a NaN there
+// is ErrObservation). The boundary is inclusive on the solve side: a
+// bin with exactly ObservabilityFloor of its links surviving (e.g. 5 of
+// 10) still runs the masked solve — only surviving < floor·L falls back
+// to the prior. The boundary semantics are pinned by
+// TestObservabilityFloorBoundary.
 const ObservabilityFloor = 0.5
 
 // validateObservation checks one bin's observation vector and derives
@@ -244,26 +302,61 @@ func EstimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 // with LinksDropped in its BinDiag and the estimate stays finite.
 func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.TrafficMatrix, BinDiag, error) {
 	diag := BinDiag{IPFConverged: true}
-	keep, dropped, err := validateObservation(y, s.rm.Rows(), s.rm.L)
-	if err != nil {
-		return nil, diag, fmt.Errorf("estimation: bin %d: %w", t, err)
-	}
-	_, ing, eg, err := s.rm.SplitLoads(y)
+	keep, dropped, ing, eg, p, err := prepareBin(s, prior, t, y)
 	if err != nil {
 		return nil, diag, err
 	}
-	p, err := prior.PriorFor(t, ing, eg)
+	est, err := projectBin(s, p, y, keep, dropped, opts, &diag)
 	if err != nil {
-		return nil, diag, fmt.Errorf("estimation: prior %q bin %d: %w", prior.Name(), t, err)
+		return nil, diag, fmt.Errorf("estimation: project bin %d: %w", t, err)
+	}
+	if err := finishBin(s, est, ing, eg, opts, &diag); err != nil {
+		return nil, diag, fmt.Errorf("estimation: IPF bin %d: %w", t, err)
+	}
+	return est, diag, nil
+}
+
+// prepareBin runs the pre-projection stage of one bin: observation
+// validation (mask derivation), marginal extraction and prior synthesis.
+// ing and eg alias y, so they stay valid exactly as long as the caller
+// keeps the observation alive. Shared by estimateBin and the warm
+// chunked path, so the two cannot drift in validation or error text.
+func prepareBin(s *Solver, prior Prior, t int, y []float64) (keep []bool, dropped int, ing, eg []float64, p *tm.TrafficMatrix, err error) {
+	keep, dropped, err = validateObservation(y, s.rm.Rows(), s.rm.L)
+	if err != nil {
+		return nil, 0, nil, nil, nil, fmt.Errorf("estimation: bin %d: %w", t, err)
+	}
+	_, ing, eg, err = s.rm.SplitLoads(y)
+	if err != nil {
+		return nil, 0, nil, nil, nil, err
+	}
+	p, err = prior.PriorFor(t, ing, eg)
+	if err != nil {
+		return nil, 0, nil, nil, nil, fmt.Errorf("estimation: prior %q bin %d: %w", prior.Name(), t, err)
 	}
 	if p.N() != s.rm.N {
-		return nil, diag, fmt.Errorf("%w: prior %q returned n=%d, want %d", ErrInput, prior.Name(), p.N(), s.rm.N)
+		return nil, 0, nil, nil, nil, fmt.Errorf("%w: prior %q returned n=%d, want %d", ErrInput, prior.Name(), p.N(), s.rm.N)
 	}
-	var est *tm.TrafficMatrix
+	return keep, dropped, ing, eg, p, nil
+}
+
+// projectBin runs the projection stage of one bin — the option-driven
+// dispatch between the iterative, masked, weighted and dense solvers —
+// recording its diagnostics in diag. Shared by estimateBin and the warm
+// chunked path (which routes only the clean unweighted bins to the
+// blocked solver and sends everything else here).
+func projectBin(s *Solver, p *tm.TrafficMatrix, y []float64, keep []bool, dropped int, opts Options, diag *BinDiag) (est *tm.TrafficMatrix, err error) {
 	switch {
 	case dropped > 0:
 		diag.Degraded = true
 		diag.LinksDropped = dropped
+		if opts.Dense || opts.WeightedDense {
+			// The dense reference paths have no row-mask form: the bin is
+			// downgraded to the masked iterative solve (or the prior
+			// fallback below). Surfaced instead of silent so a dense
+			// cross-check sweep knows which bins it did not cross-check.
+			diag.DenseDowngraded = true
+		}
 		if float64(s.rm.L-dropped) < ObservabilityFloor*float64(s.rm.L) {
 			diag.PriorFallback = true
 			est = p.Clone()
@@ -281,21 +374,32 @@ func estimateBin(s *Solver, prior Prior, t int, y []float64, opts Options) (*tm.
 	default:
 		est, diag.ProjectStalled, diag.LSQRIterations, err = s.ProjectReport(p, y)
 	}
-	if err != nil {
-		return nil, diag, fmt.Errorf("estimation: project bin %d: %w", t, err)
-	}
+	return est, err
+}
+
+// finishBin runs the post-projection stage of one bin in place: clamp
+// negative flows, then IPF toward the measured marginals (with marginal
+// scratch from the solver's pool). IPF non-convergence is recorded in
+// diag, not returned; any other IPF error is returned unwrapped for the
+// caller to attribute to its bin.
+func finishBin(s *Solver, est *tm.TrafficMatrix, ing, eg []float64, opts Options, diag *BinDiag) error {
 	est.ClampNonNegative()
-	if !opts.SkipIPF {
-		sweeps, err := IPF(est, ing, eg, opts.IPFTol, opts.IPFMaxIter)
-		diag.IPFSweeps = sweeps
-		if err != nil {
-			if !errors.Is(err, ErrIPFNoConverge) {
-				return nil, diag, fmt.Errorf("estimation: IPF bin %d: %w", t, err)
-			}
-			diag.IPFConverged = false
-		}
+	if opts.SkipIPF {
+		return nil
 	}
-	return est, diag, nil
+	sc := s.getScratch()
+	sc.ing = growFloat(sc.ing, est.N())
+	sc.eg = growFloat(sc.eg, est.N())
+	sweeps, err := ipfInto(est, ing, eg, opts.IPFTol, opts.IPFMaxIter, sc.ing, sc.eg)
+	s.putScratch(sc)
+	diag.IPFSweeps = sweeps
+	if err != nil {
+		if !errors.Is(err, ErrIPFNoConverge) {
+			return err
+		}
+		diag.IPFConverged = false
+	}
+	return nil
 }
 
 // Run estimates every bin of the true series and reports per-bin errors.

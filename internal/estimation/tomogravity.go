@@ -30,13 +30,20 @@ var ErrIPFNoConverge = errors.New("estimation: IPF did not converge")
 //
 // A Solver is safe for concurrent use once constructed: the routing
 // matrix and its CSR view are never written after NewSolver returns, the
-// lazy dense factorization is guarded by a sync.Once, and every Project*
-// variant allocates all working storage (residuals, correction vectors,
-// per-call LSQR state) per call instead of sharing scratch buffers.
-// RunWithSolverStats relies on this to estimate bins in parallel against
-// one shared solver.
+// lazy dense factorization is guarded by a sync.Once, and the per-solve
+// working storage (residuals, LSQR state, IPF marginal buffers) comes
+// from a sync.Pool — each in-flight solve owns its scratch exclusively,
+// so parallel bins never share mutable state. RunWithSolverStats relies
+// on this to estimate bins in parallel against one shared solver.
 type Solver struct {
 	rm *routing.Matrix
+
+	// scratch pools per-solve working storage (solveScratch). Reused
+	// buffers are fully overwritten before being read, so pooling cannot
+	// leak state between bins — results are bit-identical to fresh
+	// allocation; the registered steady-state path just stops paying the
+	// allocator on every bin.
+	scratch sync.Pool
 
 	// svdOnce guards the lazy dense factorization below. svd and cut
 	// (the singular-value cutoff below which directions are treated as
@@ -47,6 +54,36 @@ type Solver struct {
 	svd     *linalg.SVD
 	svdErr  error
 	cut     float64
+}
+
+// solveScratch is the reusable working storage of one in-flight bin:
+// the projection's residual vectors, the LSQR work area (single-RHS and
+// blocked), and the IPF marginal buffers. Pooled on the Solver; not
+// safe for concurrent use — each solve checks one out for its duration.
+type solveScratch struct {
+	rp, res []float64 // rows-sized: R·prior and the measurement residual
+	lsqr    linalg.LSQRWork
+	multi   linalg.LSQRMultiWork
+	ing, eg []float64 // n-sized: IPF marginal accumulators
+}
+
+// getScratch checks a scratch object out of the pool (allocating the
+// struct only on first use per worker).
+func (s *Solver) getScratch() *solveScratch {
+	if sc, ok := s.scratch.Get().(*solveScratch); ok {
+		return sc
+	}
+	return &solveScratch{}
+}
+
+func (s *Solver) putScratch(sc *solveScratch) { s.scratch.Put(sc) }
+
+// growFloat resizes a scratch buffer to length n, reusing capacity.
+func growFloat(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // NewSolver prepares a solver for the routing matrix. It is cheap —
@@ -97,6 +134,27 @@ func (s *Solver) unweightedSetup(prior *tm.TrafficMatrix, y []float64) ([]float6
 	return linalg.SubVec(y, rp), nil
 }
 
+// unweightedSetupTo is unweightedSetup computing into the scratch
+// object's buffers: no allocation at steady state, bit-identical
+// residuals. The returned slice aliases sc.res and is valid until the
+// scratch is returned to the pool.
+func (s *Solver) unweightedSetupTo(sc *solveScratch, prior *tm.TrafficMatrix, y []float64) ([]float64, error) {
+	if prior.N() != s.rm.N {
+		return nil, fmt.Errorf("%w: prior over %d nodes for n=%d routing", ErrInput, prior.N(), s.rm.N)
+	}
+	if len(y) != s.rm.Rows() {
+		return nil, fmt.Errorf("%w: y of %d, want %d", ErrInput, len(y), s.rm.Rows())
+	}
+	rows := s.rm.Rows()
+	sc.rp = growFloat(sc.rp, rows)
+	s.rm.CSR().MulVecTo(sc.rp, prior.Vec())
+	sc.res = growFloat(sc.res, rows)
+	for i, v := range y {
+		sc.res[i] = v - sc.rp[i]
+	}
+	return sc.res, nil
+}
+
 // Project returns the minimal-L2 correction of the prior onto the
 // link-constraint manifold:
 //
@@ -140,12 +198,14 @@ const denseFallbackMaxFlops = 5e7
 // It counts the iterative work even when a stall escalated the estimate
 // to the dense reference.
 func (s *Solver) ProjectReport(prior *tm.TrafficMatrix, y []float64) (est *tm.TrafficMatrix, stalled bool, iters int, err error) {
-	res, err := s.unweightedSetup(prior, y)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	res, err := s.unweightedSetupTo(sc, prior, y)
 	if err != nil {
 		return nil, false, 0, err
 	}
 	csr := s.rm.CSR()
-	z, rep, err := linalg.LSQR(csr, res, linalg.LSQROptions{})
+	z, rep, err := linalg.LSQR(csr, res, linalg.LSQROptions{Work: &sc.lsqr})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("estimation: projection: %w", err)
 	}
@@ -246,8 +306,10 @@ func (s *Solver) ProjectMaskedReport(prior *tm.TrafficMatrix, y []float64, keep 
 			res[i] = 0
 		}
 	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	op := linalg.NewRowMasked(s.rm.CSR(), keep)
-	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
+	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{Work: &sc.lsqr})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("estimation: masked projection: %w", err)
 	}
@@ -277,8 +339,10 @@ func (s *Solver) ProjectWeightedMaskedReport(prior *tm.TrafficMatrix, y []float6
 			res[i] = 0
 		}
 	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	op := linalg.NewRowMasked(linalg.NewColScaled(s.rm.CSR(), sqrtw), keep)
-	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
+	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{Work: &sc.lsqr})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("estimation: masked weighted projection: %w", err)
 	}
@@ -362,8 +426,10 @@ func (s *Solver) ProjectWeightedReport(prior *tm.TrafficMatrix, y []float64) (es
 	if err != nil {
 		return nil, false, 0, err
 	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	op := linalg.NewColScaled(s.rm.CSR(), sqrtw)
-	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{})
+	z, rep, err := linalg.LSQR(op, res, linalg.LSQROptions{Work: &sc.lsqr})
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("estimation: weighted projection: %w", err)
 	}
@@ -421,6 +487,18 @@ func (s *Solver) ProjectWeightedDense(prior *tm.TrafficMatrix, y []float64) (*tm
 // the last sweep's state either way.
 func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, maxIter int) (int, error) {
 	n := x.N()
+	return ipfInto(x, rowTargets, colTargets, tol, maxIter,
+		make([]float64, n), make([]float64, n))
+}
+
+// ipfInto is IPF with caller-supplied marginal scratch (two n-sized
+// buffers, reused across sweeps). The marginal sums come from
+// IngressInto/EgressInto, which are bit-identical to Ingress/Egress, so
+// pooled and fresh runs produce the same matrix to the last bit. It
+// backs both the exported IPF and the pipeline's per-bin step, which
+// feeds it buffers from the solver's scratch pool.
+func ipfInto(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, maxIter int, ing, eg []float64) (int, error) {
+	n := x.N()
 	if err := validateMarginals(n, rowTargets, colTargets); err != nil {
 		return 0, err
 	}
@@ -431,7 +509,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 		maxIter = 200
 	}
 	// Seed zero rows/columns that must carry mass.
-	ing := x.Ingress()
+	x.IngressInto(ing)
 	for i := 0; i < n; i++ {
 		if rowTargets[i] > 0 && ing[i] == 0 {
 			for j := 0; j < n; j++ {
@@ -439,7 +517,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 			}
 		}
 	}
-	eg := x.Egress()
+	x.EgressInto(eg)
 	for j := 0; j < n; j++ {
 		if colTargets[j] > 0 && eg[j] == 0 {
 			for i := 0; i < n; i++ {
@@ -450,7 +528,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 	worst := math.Inf(1)
 	for iter := 1; iter <= maxIter; iter++ {
 		// Row scaling.
-		ing = x.Ingress()
+		x.IngressInto(ing)
 		for i := 0; i < n; i++ {
 			if ing[i] == 0 {
 				continue
@@ -461,7 +539,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 			}
 		}
 		// Column scaling.
-		eg = x.Egress()
+		x.EgressInto(eg)
 		for j := 0; j < n; j++ {
 			if eg[j] == 0 {
 				continue
@@ -472,7 +550,7 @@ func IPF(x *tm.TrafficMatrix, rowTargets, colTargets []float64, tol float64, max
 			}
 		}
 		// Convergence check on row sums (columns were just enforced).
-		ing = x.Ingress()
+		x.IngressInto(ing)
 		worst = 0
 		for i := 0; i < n; i++ {
 			den := math.Max(rowTargets[i], 1)

@@ -84,28 +84,51 @@ func (t *TrafficMatrix) Clone() *TrafficMatrix {
 
 // Ingress returns the row sums X_{i*} for all i (traffic entering at i).
 func (t *TrafficMatrix) Ingress() []float64 {
-	out := make([]float64, t.n)
+	return t.IngressInto(make([]float64, t.n))
+}
+
+// IngressInto computes the row sums into dst (which must have length n)
+// and returns it — the allocation-free form of Ingress for steady-state
+// callers that reuse a scratch buffer. The sums are bit-identical to
+// Ingress: same accumulation order, every entry overwritten.
+func (t *TrafficMatrix) IngressInto(dst []float64) []float64 {
+	if len(dst) != t.n {
+		panic(fmt.Sprintf("tm: ingress buffer of %d for n=%d", len(dst), t.n))
+	}
 	for i := 0; i < t.n; i++ {
 		var s float64
 		row := t.data[i*t.n : (i+1)*t.n]
 		for _, v := range row {
 			s += v
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Egress returns the column sums X_{*j} for all j (traffic leaving at j).
 func (t *TrafficMatrix) Egress() []float64 {
-	out := make([]float64, t.n)
+	return t.EgressInto(make([]float64, t.n))
+}
+
+// EgressInto computes the column sums into dst (which must have length
+// n) and returns it — the allocation-free counterpart of Egress, bit-
+// identical to it (dst is zeroed first, then accumulated in the same
+// order).
+func (t *TrafficMatrix) EgressInto(dst []float64) []float64 {
+	if len(dst) != t.n {
+		panic(fmt.Sprintf("tm: egress buffer of %d for n=%d", len(dst), t.n))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < t.n; i++ {
 		row := t.data[i*t.n : (i+1)*t.n]
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // Total returns the grand total X_{**}.
