@@ -11,6 +11,7 @@ import (
 	"ictm/internal/packet"
 	"ictm/internal/routing"
 	"ictm/internal/serve"
+	"ictm/internal/store"
 	"ictm/internal/synth"
 	"ictm/internal/topology"
 )
@@ -859,6 +860,73 @@ func BenchmarkEstimateBinLossy(b *testing.B) {
 		}
 		if !diag.Degraded {
 			b.Fatal("lossy observation did not degrade the solve")
+		}
+	}
+}
+
+// benchWarmOpenSpec is the restart-benchmark substrate: the ISP-like
+// backbone at n=100, the same scale the solver benchmarks pin.
+func benchWarmOpenSpec() topology.Spec { return synth.ISPLike(100).Topology() }
+
+// BenchmarkEngineColdOpen measures a replica opening a registered
+// session with nothing but the descriptor: a fresh engine pays the full
+// routing.Build (plus solver construction) before it can serve — the
+// restart cost the shared artifact store exists to avoid.
+func BenchmarkEngineColdOpen(b *testing.B) {
+	spec := benchWarmOpenSpec()
+	state := estimation.PriorState{Name: "gravity"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := serve.NewEngine(1)
+		if _, _, err := engine.RegisterTopology("bench", spec); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := engine.RegisterPrior("bench", state); err != nil {
+			b.Fatal(err)
+		}
+		if s := engine.Stats(); s.RoutingBuilds != 1 {
+			b.Fatalf("cold open paid %d routing builds, want 1", s.RoutingBuilds)
+		}
+	}
+}
+
+// BenchmarkEngineStoreWarmOpen measures the same session reopened from
+// a pre-seeded shared store: a fresh engine per iteration warm-starts
+// from disk — record walk, matrix decode, solver construction, zero
+// routing.Build. The CI gate holds this at least 5x faster than
+// BenchmarkEngineColdOpen (benchcheck -min-ratio; see BENCH_pr9.json).
+func BenchmarkEngineStoreWarmOpen(b *testing.B) {
+	spec := benchWarmOpenSpec()
+	dir := b.TempDir()
+	seedStore, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := serve.NewEngine(1, serve.WithStore(seedStore))
+	if _, _, err := seed.RegisterTopology("bench", spec); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := seed.RegisterPrior("bench", estimation.PriorState{Name: "gravity"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := serve.NewEngine(1, serve.WithStore(st))
+		topos, priors, err := engine.WarmStart()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if topos != 1 || priors != 1 {
+			b.Fatalf("warm start restored %d topologies, %d priors; want 1, 1", topos, priors)
+		}
+		if s := engine.Stats(); s.RoutingBuilds != 0 {
+			b.Fatalf("warm open paid %d routing builds, want 0", s.RoutingBuilds)
 		}
 	}
 }

@@ -22,10 +22,18 @@
 // never arithmetic. On SIGINT/SIGTERM the engine drains: new sessions
 // and registrations get 503 while in-flight streams finish.
 //
+// With -store-dir, registrations and routing matrices persist to a
+// shared disk-backed artifact store: replicas pointed at the same
+// directory see each other's registrations (register on one, estimate
+// by handle on another, byte-identical), and a restart warm-opens every
+// registered session from disk without rebuilding a single routing
+// matrix (-store-warm, on by default).
+//
 // Usage:
 //
 //	icserve -addr 127.0.0.1:8080 -workers 0 -scenario geant
 //	icserve -scenario isp -n 100
+//	icserve -addr 127.0.0.1:0 -store-dir /var/lib/ictm/store
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 
 	"ictm/internal/cliflag"
 	"ictm/internal/serve"
+	"ictm/internal/store"
 )
 
 // shutdownTimeout bounds how long graceful shutdown waits for in-flight
@@ -85,6 +94,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		requestTimeout = fs.Duration("request-timeout", 0, "per-request deadline: past it, unstarted bins fail in-band with the context error (0 = none)")
 		maxInFlight    = fs.Int("max-inflight", 0, "bound on concurrently served requests; excess gets 503 + Retry-After (0 = unbounded)")
 		shedRetryAfter = fs.Duration("shed-retry-after", time.Second, "Retry-After hint on load-shed 503s (needs -max-inflight)")
+
+		// Shared artifact store: replicas pointed at one directory share
+		// registrations and routing matrices, and a restart warm-opens
+		// every registered session from disk.
+		storeDir  = fs.String("store-dir", "", "shared artifact store directory: registrations and routing matrices persist here and are shared by every replica on the same path (empty = in-memory only)")
+		storeWarm = fs.Bool("store-warm", true, "restore registrations and solvers from -store-dir at startup (needs -store-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -98,12 +113,31 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	if *maxInFlight <= 0 {
 		cliflag.WarnIgnored(fs, stderr, "icserve", "without -max-inflight", "shed-retry-after")
 	}
+	if *storeDir == "" {
+		cliflag.WarnIgnored(fs, stderr, "icserve", "without -store-dir", "store-warm")
+	}
 
 	defaultTopology, err := serve.ScenarioSpec(*scenario, *nodes)
 	if err != nil {
 		return err
 	}
-	engine := serve.NewEngine(*workers)
+	var engineOpts []serve.EngineOption
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		engineOpts = append(engineOpts, serve.WithStore(st))
+	}
+	engine := serve.NewEngine(*workers, engineOpts...)
+	if *storeDir != "" && *storeWarm {
+		topos, priors, err := engine.WarmStart()
+		if err != nil {
+			return fmt.Errorf("warm start: %w", err)
+		}
+		fmt.Fprintf(stderr, "icserve: warm start restored %d topologies, %d priors from %s\n",
+			topos, priors, *storeDir)
+	}
 	handler := serve.NewHandler(engine, defaultTopology,
 		serve.WithRequestTimeout(*requestTimeout),
 		serve.WithMaxInFlight(*maxInFlight),

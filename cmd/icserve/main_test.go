@@ -127,6 +127,21 @@ func TestRunWarnsIgnoredFlags(t *testing.T) {
 		{"shed-retry-after without max-inflight", []string{"-scenario", "isp", "-shed-retry-after", "5s"},
 			"icserve: warning: -shed-retry-after is ignored without -max-inflight"},
 		{"shed-retry-after with max-inflight", []string{"-scenario", "isp", "-max-inflight", "4", "-shed-retry-after", "5s"}, ""},
+		{"store-warm without store-dir", []string{"-scenario", "isp", "-store-warm=false"},
+			"icserve: warning: -store-warm is ignored without -store-dir"},
+		{"store-warm default without store-dir", []string{"-scenario", "isp"}, ""},
+	}
+	{
+		// -store-warm with -store-dir is meaningful, so it must not warn.
+		var out, errBuf bytes.Buffer
+		stop := make(chan os.Signal)
+		args := []string{"-store-dir", t.TempDir(), "-store-warm=false", "-addr", "127.0.0.1:bogusport"}
+		if err := run(args, &out, &errBuf, stop); err == nil {
+			t.Fatal("store-warm with store-dir: bad port must fail")
+		}
+		if strings.Contains(errBuf.String(), "warning") {
+			t.Errorf("store-warm with store-dir: unexpected warning:\n%s", errBuf.String())
+		}
 	}
 	for _, tc := range cases {
 		// The warning is emitted before the listener opens, so a run
@@ -770,5 +785,112 @@ func TestServiceSmokeDegradedGolden(t *testing.T) {
 	want := read(goldenPath)
 	if !bytes.Equal(body, want) {
 		t.Errorf("degraded response drifted from golden snapshot (run with -update if intended):\n--- got\n%s--- want\n%s", body, want)
+	}
+}
+
+// TestServeStoreSharedAndWarmRestart drives the shared-store lifecycle
+// over real HTTP — the in-process twin of CI's multi-replica smoke:
+// register a topology and prior on replica A, estimate by handle on
+// replica B which shares only the -store-dir (byte-identical response,
+// zero routing builds, at least one store hit); then kill B and start a
+// fresh replica on the same directory, whose warm start re-opens the
+// session with the same bytes and still zero routing builds.
+func TestServeStoreSharedAndWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	sc, bin := geantBin(t)
+	state := estimation.PriorState{Name: "ic-stable-f", F: 0.25}
+
+	urlA, stopA := startServer(t, "-store-dir", dir)
+	specBody, _ := json.Marshal(sc.Topology())
+	resp := putSpec(t, urlA+"/v2/topologies/geant", specBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT topology: %d", resp.StatusCode)
+	}
+	stateBody, _ := json.Marshal(state)
+	resp, err := http.Post(urlA+"/v2/topologies/geant/priors", "application/json", bytes.NewReader(stateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preg serve.PriorRegistration
+	if err := json.NewDecoder(resp.Body).Decode(&preg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || preg.Handle == "" {
+		t.Fatalf("POST prior: %d %+v", resp.StatusCode, preg)
+	}
+
+	reqBody, _ := json.Marshal(serve.EstimateRequest{
+		SessionSpec: serve.SessionSpec{Topology: "geant", Prior: preg.Handle},
+		Bins:        []serve.Bin{bin},
+	})
+	estimate := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Post(url+"/v2/estimate", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate on %s: %d: %s", url, resp.StatusCode, body)
+		}
+		return body
+	}
+	stats := func(url string) serve.Stats {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return st
+	}
+	want := estimate(urlA)
+
+	// Replica B: same directory, no registration calls. The registration
+	// travels through the store, the routing matrix is decoded instead of
+	// rebuilt.
+	urlB, stopB := startServer(t, "-store-dir", dir)
+	if got := estimate(urlB); !bytes.Equal(got, want) {
+		t.Errorf("replica B response differs:\n--- got\n%s--- want\n%s", got, want)
+	}
+	st := stats(urlB)
+	if st.RoutingBuilds != 0 {
+		t.Errorf("replica B paid %d routing builds, want 0", st.RoutingBuilds)
+	}
+	if st.StoreHits == 0 {
+		t.Errorf("replica B recorded no store hits: %+v", st)
+	}
+	if err := stopB(); err != nil {
+		t.Fatalf("stop replica B: %v", err)
+	}
+
+	// The restart: a fresh replica on the same directory warm-opens the
+	// registered session without a single build.
+	urlB2, stopB2 := startServer(t, "-store-dir", dir)
+	if got := estimate(urlB2); !bytes.Equal(got, want) {
+		t.Errorf("restarted replica response differs:\n--- got\n%s--- want\n%s", got, want)
+	}
+	st = stats(urlB2)
+	if st.RoutingBuilds != 0 {
+		t.Errorf("restarted replica paid %d routing builds, want 0", st.RoutingBuilds)
+	}
+	if st.StoreHits == 0 || st.RegisteredTopologies == 0 || st.RegisteredPriors == 0 {
+		t.Errorf("restarted replica did not warm-open: %+v", st)
+	}
+	if err := stopB2(); err != nil {
+		t.Fatalf("stop restarted replica: %v", err)
+	}
+	if err := stopA(); err != nil {
+		t.Fatalf("stop replica A: %v", err)
 	}
 }

@@ -12,6 +12,18 @@
 // The v1 inline path (spec and prior state shipped on every request)
 // survives as a shim over the same pool, byte-compatible with PR 4.
 //
+// With a shared artifact store attached (WithStore), the per-process
+// pools become a read-through cache over a disk-backed key→blob map:
+// solver-pool misses check the store for a serialized routing matrix
+// before paying routing.Build, registrations write through, and
+// registry misses fall back to the store's registration records — so N
+// stateless engines (replicas sharing one directory, or successive
+// lives of one restarted process) see each other's registrations and
+// warm artifacts. The store is purely an accelerator and never an
+// arbiter of correctness: every artifact is a deterministic function of
+// its key, corruption reads as a miss that rebuilds (and overwrites),
+// and write failures leave the in-memory artifact authoritative.
+//
 // Determinism: estimation of one bin is a pure function of (topology,
 // prior state, options, bin), solvers are read-only after construction,
 // and the pipeline reassembles results in submission order — so the
@@ -36,6 +48,7 @@ import (
 	"ictm/internal/estimation"
 	"ictm/internal/parallel"
 	"ictm/internal/routing"
+	"ictm/internal/store"
 	"ictm/internal/tm"
 	"ictm/internal/topology"
 )
@@ -232,6 +245,20 @@ type Stats struct {
 	// in-flight admission gate.
 	Panics       int64 `json:"panics"`
 	RequestsShed int64 `json:"requests_shed"`
+	// RoutingBuilds counts the full routing.Build constructions this
+	// process performed — the dominant cold-start cost the shared
+	// artifact store exists to avoid. A warm-restarted replica serving
+	// registered sessions from stored matrices holds it at zero.
+	RoutingBuilds int64 `json:"routing_builds"`
+	// Store* surface this process's artifact-store traffic (all zero
+	// without an attached store): blob-read hits and misses, corrupt
+	// blobs encountered (each handled as a rebuild-and-overwrite miss),
+	// and write-through successes and failures.
+	StoreHits        int64 `json:"store_hits"`
+	StoreMisses      int64 `json:"store_misses"`
+	StoreCorrupt     int64 `json:"store_corrupt"`
+	StoreWrites      int64 `json:"store_writes"`
+	StoreWriteErrors int64 `json:"store_write_errors"`
 }
 
 // Engine is the shared, long-lived estimation core. It is safe for
@@ -246,6 +273,11 @@ type Engine struct {
 	maxTopologies int
 	maxPriors     int
 
+	// store is the optional shared artifact store (WithStore): the
+	// solver pool and registry read through it, registrations write
+	// through it. nil keeps the engine purely in-memory.
+	store *store.Store
+
 	mu      sync.Mutex
 	solvers map[string]*solverEntry // canonical spec key → pooled estimator
 	topos   map[string]*topoEntry   // client key → registered topology
@@ -254,6 +286,7 @@ type Engine struct {
 	evicted int64                   // solver-pool evictions
 	regEvic int64                   // registry evictions (topologies + priors)
 
+	builds    atomic.Int64 // routing.Build constructions paid by this process
 	draining  atomic.Bool
 	streams   atomic.Int64
 	bins      atomic.Int64
@@ -308,11 +341,56 @@ type priorEntry struct {
 	lastUse int64
 }
 
+// EngineOption configures optional engine subsystems at construction.
+type EngineOption func(*Engine)
+
+// WithStore attaches a shared disk-backed artifact store. The solver
+// pool reads through it — a stored routing matrix replaces the
+// routing.Build on a pool miss — registrations (topologies, priors,
+// patched topologies) write through it, and registry misses fall back
+// to its registration records, so engines in different processes
+// pointed at one directory share registrations and warm artifacts.
+// Store failures never fail serving: a corrupt blob reads as a miss
+// and is rebuilt and overwritten, and a failed write leaves the
+// in-memory artifact authoritative (both surface in Stats).
+func WithStore(st *store.Store) EngineOption {
+	return func(e *Engine) { e.store = st }
+}
+
+// Store namespaces of the engine's registration records (the matrix
+// namespace is store.NSMatrices, keyed by canonical topology key).
+const (
+	nsTopologies = "topologies"
+	nsPriors     = "priors"
+)
+
+// topologyRecord is the store form of one topology registration: what
+// a replica needs to resolve a client key it has never seen — the
+// descriptor (whose canonical form keys the matrix blob), the node
+// count, and the mutation lineage.
+type topologyRecord struct {
+	Key     string        `json:"key"`
+	Spec    topology.Spec `json:"spec"`
+	N       int           `json:"n"`
+	Version int           `json:"version,omitempty"`
+	Base    string        `json:"base,omitempty"`
+}
+
+// priorRecord is the store form of one prior registration: the owning
+// topology key and the canonical state JSON the handle was hashed
+// over, so any replica re-validates and re-instantiates the identical
+// prior.
+type priorRecord struct {
+	Handle   string          `json:"handle"`
+	Topology string          `json:"topology"`
+	State    json.RawMessage `json:"state"`
+}
+
 // NewEngine returns an engine whose streams estimate bins with at most
 // Resolve(workers) concurrent workers each (0 = GOMAXPROCS, 1 = strictly
 // sequential; results are identical for every value).
-func NewEngine(workers int) *Engine {
-	return &Engine{
+func NewEngine(workers int, opts ...EngineOption) *Engine {
+	e := &Engine{
 		workers:       workers,
 		buffer:        defaultBuffer,
 		maxTopologies: defaultMaxTopologies,
@@ -321,6 +399,10 @@ func NewEngine(workers int) *Engine {
 		topos:         make(map[string]*topoEntry),
 		priors:        make(map[string]*priorEntry),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Drain switches the engine into shutdown mode: every subsequent
@@ -363,10 +445,23 @@ func (e *Engine) entryFor(spec topology.Spec) (*solverEntry, error) {
 			ent.err = fmt.Errorf("serve: build topology: %w", err)
 			return
 		}
-		rm, err := routing.Build(g)
-		if err != nil {
-			ent.err = fmt.Errorf("serve: build routing: %w", err)
-			return
+		// Read-through: a stored matrix (written by any replica, or by a
+		// previous life of this process) replaces the expensive Build —
+		// bitwise identical by the codec contract, so estimates cannot
+		// depend on which replica built the artifact.
+		rm := e.storedMatrix(spec.Key(), g)
+		if rm == nil {
+			rm, err = routing.Build(g)
+			if err != nil {
+				ent.err = fmt.Errorf("serve: build routing: %w", err)
+				return
+			}
+			e.builds.Add(1)
+			if e.store != nil {
+				// Best-effort write-through: a failure (counted by the
+				// store) costs other replicas a rebuild, never correctness.
+				_ = e.store.PutMatrix(spec.Key(), rm)
+			}
 		}
 		est, err := estimation.NewEstimator(rm)
 		if err != nil {
@@ -376,6 +471,23 @@ func (e *Engine) entryFor(spec topology.Spec) (*solverEntry, error) {
 		ent.g, ent.rm, ent.est = g, rm, est
 	})
 	return ent, ent.err
+}
+
+// storedMatrix is the solver pool's store read-through: the routing
+// matrix blobbed under a canonical topology key, validated against the
+// graph it must describe. nil on every failure — no store attached,
+// miss, corruption (the bad blob will be overwritten by the rebuild's
+// write-through), or a layout mismatch from a stale blob — after which
+// the caller falls back to routing.Build.
+func (e *Engine) storedMatrix(key string, g *topology.Graph) *routing.Matrix {
+	if e.store == nil {
+		return nil
+	}
+	rm, err := e.store.GetMatrix(key)
+	if err != nil || rm.N != g.N() || rm.L != g.NumEdges() {
+		return nil
+	}
+	return rm
 }
 
 // estimatorFor is entryFor reduced to the estimator + routing matrix the
@@ -405,19 +517,15 @@ func (e *Engine) RegisterTopology(key string, spec topology.Spec) (n int, create
 	}
 	canonical := spec.Key()
 
-	e.mu.Lock()
-	if ent, ok := e.topos[key]; ok {
+	// Idempotence and conflict detection see through the store: a key
+	// registered by another replica conflicts (or matches) exactly as a
+	// local one would.
+	if ent, ok := e.lookupTopo(key); ok {
 		if ent.canonical != canonical {
-			e.mu.Unlock()
 			return 0, false, fmt.Errorf("%w: topology key %q already registered with a different spec", ErrConflict, key)
 		}
-		e.tick++
-		ent.lastUse = e.tick
-		n = ent.n
-		e.mu.Unlock()
-		return n, false, nil
+		return ent.n, false, nil
 	}
-	e.mu.Unlock()
 
 	// Validate outside the lock: the build can be O(n³) and the pool
 	// entry's once already serializes concurrent builders of one spec.
@@ -427,18 +535,22 @@ func (e *Engine) RegisterTopology(key string, spec topology.Spec) (n int, create
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if ent, ok := e.topos[key]; ok { // lost a registration race
-		if ent.canonical != canonical {
+		n, conflicted := ent.n, ent.canonical != canonical
+		e.mu.Unlock()
+		if conflicted {
 			return 0, false, fmt.Errorf("%w: topology key %q already registered with a different spec", ErrConflict, key)
 		}
-		return ent.n, false, nil
+		return n, false, nil
 	}
 	if len(e.topos) >= e.maxTopologies {
 		e.dropTopologyLocked(lruKey(e.topos, func(t *topoEntry) int64 { return t.lastUse }))
 	}
 	e.tick++
-	e.topos[key] = &topoEntry{spec: spec, canonical: canonical, n: rm.N, lastUse: e.tick}
+	ent := &topoEntry{spec: spec, canonical: canonical, n: rm.N, lastUse: e.tick}
+	e.topos[key] = ent
+	e.mu.Unlock()
+	e.putTopoRecord(key, ent)
 	return rm.N, true, nil
 }
 
@@ -472,17 +584,12 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 	if err := e.checkAccepting(); err != nil {
 		return PatchResult{}, err
 	}
-	e.mu.Lock()
-	ent, ok := e.topos[key]
+	ent, ok := e.lookupTopo(key)
 	if !ok {
-		e.mu.Unlock()
 		return PatchResult{}, fmt.Errorf("%w: topology key %q", ErrNotFound, key)
 	}
-	e.tick++
-	ent.lastUse = e.tick
 	spec := ent.spec
 	version := ent.version
-	e.mu.Unlock()
 
 	// Patch outside the lock: the heavy work (2n Dijkstra sweeps plus
 	// touched-pair recomputation) must not serialize the registry.
@@ -503,7 +610,6 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 	derivedKey := derivedTopoKey(canonical)
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.tick++
 	// Keep the patched estimator warm: insert it into the solver pool
 	// under the derived canonical key (with a burnt once) instead of
@@ -518,19 +624,25 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 		e.solvers[canonical] = warm
 	}
 	if dent, ok := e.topos[derivedKey]; ok {
-		if dent.canonical != canonical {
+		conflicted := dent.canonical != canonical
+		resVersion := dent.version
+		if !conflicted {
+			dent.lastUse = e.tick
+		}
+		e.mu.Unlock()
+		if conflicted {
 			return PatchResult{}, fmt.Errorf("%w: derived topology key %q already registered with a different spec", ErrConflict, derivedKey)
 		}
-		dent.lastUse = e.tick
-		return PatchResult{Base: key, Key: derivedKey, N: ng.N(), Version: dent.version}, nil
+		return PatchResult{Base: key, Key: derivedKey, N: ng.N(), Version: resVersion}, nil
 	}
 	if len(e.topos) >= e.maxTopologies {
 		e.dropTopologyLocked(lruKey(e.topos, func(t *topoEntry) int64 { return t.lastUse }))
 	}
-	e.topos[derivedKey] = &topoEntry{
+	dent := &topoEntry{
 		spec: derivedSpec, canonical: canonical, n: ng.N(),
 		version: version + 1, base: key, lastUse: e.tick,
 	}
+	e.topos[derivedKey] = dent
 	// Carry the base's priors: same n, so the validated instances stay
 	// correct — only the owning key (and therefore the handle) changes.
 	// Collect first: inserting while ranging over the map would be racy
@@ -541,6 +653,7 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 			carry = append(carry, p)
 		}
 	}
+	carried := make(map[string]*priorEntry)
 	for _, p := range carry {
 		h := priorHandle(derivedKey, p.state)
 		if _, ok := e.priors[h]; ok {
@@ -550,7 +663,23 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 			delete(e.priors, lruKey(e.priors, func(p *priorEntry) int64 { return p.lastUse }))
 			e.regEvic++
 		}
-		e.priors[h] = &priorEntry{topoKey: derivedKey, state: p.state, prior: p.prior, lastUse: e.tick}
+		np := &priorEntry{topoKey: derivedKey, state: p.state, prior: p.prior, lastUse: e.tick}
+		e.priors[h] = np
+		carried[h] = np
+	}
+	e.mu.Unlock()
+
+	// Write-through after the registry settles: the derived topology's
+	// matrix (already computed incrementally, bitwise equal to a full
+	// rebuild), its registration record, and the carried priors — so a
+	// replica sharing the store resolves the derived key and its handles
+	// without replaying the delta.
+	if e.store != nil {
+		_ = e.store.PutMatrix(canonical, pm)
+	}
+	e.putTopoRecord(derivedKey, dent)
+	for h, p := range carried {
+		e.putPriorRecord(h, p)
 	}
 	return PatchResult{Base: key, Key: derivedKey, N: ng.N(), Version: version + 1}, nil
 }
@@ -583,6 +712,133 @@ func (e *Engine) dropTopologyLocked(key string) {
 	}
 }
 
+// lookupTopo resolves a registered topology by client key, falling back
+// to the store's registration record on a registry miss — another
+// replica's registration, a previous life of this process, or an entry
+// the LRU bound evicted back to disk. Adopted records enter the
+// registry under the usual bound. Caller must not hold e.mu; the
+// returned entry's immutable fields (spec, canonical, n, version, base)
+// are safe to read after return.
+func (e *Engine) lookupTopo(key string) (*topoEntry, bool) {
+	e.mu.Lock()
+	if ent, ok := e.topos[key]; ok {
+		e.tick++
+		ent.lastUse = e.tick
+		e.mu.Unlock()
+		return ent, true
+	}
+	e.mu.Unlock()
+	if e.store == nil {
+		return nil, false
+	}
+	var rec topologyRecord
+	if err := e.store.GetJSON(nsTopologies, key, &rec); err != nil || rec.Key != key || rec.N <= 0 {
+		return nil, false
+	}
+	canonical := rec.Spec.Key()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.topos[key]; ok { // raced with another resolver
+		e.tick++
+		ent.lastUse = e.tick
+		return ent, true
+	}
+	if len(e.topos) >= e.maxTopologies {
+		e.dropTopologyLocked(lruKey(e.topos, func(t *topoEntry) int64 { return t.lastUse }))
+	}
+	e.tick++
+	ent := &topoEntry{
+		spec: rec.Spec, canonical: canonical, n: rec.N,
+		version: rec.Version, base: rec.Base, lastUse: e.tick,
+	}
+	e.topos[key] = ent
+	return ent, true
+}
+
+// lookupPrior resolves a registered prior by handle, falling back to
+// the store's registration record on a registry miss. An adopted record
+// is re-validated from scratch — owning topology resolved (possibly
+// itself through the store), state re-instantiated against its n, and
+// the handle recomputed over the canonical state — so a stale or forged
+// blob reads as a miss, never as someone else's calibration. Caller
+// must not hold e.mu.
+func (e *Engine) lookupPrior(handle string) (*priorEntry, bool) {
+	e.mu.Lock()
+	if p, ok := e.priors[handle]; ok {
+		e.tick++
+		p.lastUse = e.tick
+		e.mu.Unlock()
+		return p, true
+	}
+	e.mu.Unlock()
+	if e.store == nil {
+		return nil, false
+	}
+	var rec priorRecord
+	if err := e.store.GetJSON(nsPriors, handle, &rec); err != nil || rec.Handle != handle {
+		return nil, false
+	}
+	topo, ok := e.lookupTopo(rec.Topology)
+	if !ok {
+		return nil, false
+	}
+	var state estimation.PriorState
+	if err := json.Unmarshal(rec.State, &state); err != nil {
+		return nil, false
+	}
+	prior, err := state.Prior(topo.n)
+	if err != nil {
+		return nil, false
+	}
+	canonical, err := json.Marshal(state)
+	if err != nil {
+		return nil, false
+	}
+	if priorHandle(rec.Topology, canonical) != handle {
+		return nil, false
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.priors[handle]; ok { // raced with another resolver
+		e.tick++
+		p.lastUse = e.tick
+		return p, true
+	}
+	if len(e.priors) >= e.maxPriors {
+		delete(e.priors, lruKey(e.priors, func(p *priorEntry) int64 { return p.lastUse }))
+		e.regEvic++
+	}
+	e.tick++
+	p := &priorEntry{topoKey: rec.Topology, state: canonical, prior: prior, lastUse: e.tick}
+	e.priors[handle] = p
+	return p, true
+}
+
+// putTopoRecord and putPriorRecord write one registration through to
+// the store, best-effort: failures are counted by the store and cost
+// other replicas a registry miss, never correctness. Callers must not
+// hold e.mu (disk IO); entry fields other than lastUse are immutable,
+// so reading them unlocked is safe.
+func (e *Engine) putTopoRecord(key string, ent *topoEntry) {
+	if e.store == nil {
+		return
+	}
+	_ = e.store.PutJSON(nsTopologies, key, topologyRecord{
+		Key: key, Spec: ent.spec, N: ent.n, Version: ent.version, Base: ent.base,
+	})
+}
+
+func (e *Engine) putPriorRecord(handle string, p *priorEntry) {
+	if e.store == nil {
+		return
+	}
+	_ = e.store.PutJSON(nsPriors, handle, priorRecord{
+		Handle: handle, Topology: p.topoKey, State: p.state,
+	})
+}
+
 // priorHandle derives the deterministic server handle of a prior
 // registration: a short content hash over the owning topology key and
 // the canonical state JSON, so re-registering identical state yields
@@ -606,16 +862,11 @@ func (e *Engine) RegisterPrior(topoKey string, state estimation.PriorState) (han
 	if err := e.checkAccepting(); err != nil {
 		return "", false, err
 	}
-	e.mu.Lock()
-	ent, ok := e.topos[topoKey]
+	ent, ok := e.lookupTopo(topoKey)
 	if !ok {
-		e.mu.Unlock()
 		return "", false, fmt.Errorf("%w: topology key %q", ErrNotFound, topoKey)
 	}
-	e.tick++
-	ent.lastUse = e.tick
 	n := ent.n
-	e.mu.Unlock()
 
 	prior, err := state.Prior(n)
 	if err != nil {
@@ -627,32 +878,47 @@ func (e *Engine) RegisterPrior(topoKey string, state estimation.PriorState) (han
 	}
 	handle = priorHandle(topoKey, canonical)
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.tick++
-	if p, ok := e.priors[handle]; ok {
-		// The handle is a truncated content hash: confirm the stored
-		// registration really is this one before calling it idempotent,
-		// so a hash collision surfaces as a conflict instead of silently
-		// serving another client's calibration state.
+	// The handle is a truncated content hash: confirm an existing
+	// registration (local or another replica's, via the store) really is
+	// this one before calling it idempotent, so a hash collision surfaces
+	// as a conflict instead of silently serving another client's
+	// calibration state.
+	if p, ok := e.lookupPrior(handle); ok {
 		if p.topoKey != topoKey || !bytes.Equal(p.state, canonical) {
 			return "", false, fmt.Errorf("%w: prior handle %q already registered with different state", ErrConflict, handle)
 		}
-		p.lastUse = e.tick
 		return handle, false, nil
 	}
-	// The topology was validated before the lock was dropped for
-	// state.Prior; concurrent registrations may have evicted (and a
-	// future client could re-register) the key meanwhile. Re-check under
-	// the lock so a prior validated against a stale n can never land.
+
+	e.mu.Lock()
+	e.tick++
+	if p, ok := e.priors[handle]; ok { // lost a registration race
+		conflicted := p.topoKey != topoKey || !bytes.Equal(p.state, canonical)
+		if !conflicted {
+			p.lastUse = e.tick
+		}
+		e.mu.Unlock()
+		if conflicted {
+			return "", false, fmt.Errorf("%w: prior handle %q already registered with different state", ErrConflict, handle)
+		}
+		return handle, false, nil
+	}
+	// The topology was validated before the lock was taken; concurrent
+	// registrations may have evicted (and a future client could
+	// re-register) the key meanwhile. Re-check under the lock so a prior
+	// validated against a stale n can never land.
 	if ent, ok := e.topos[topoKey]; !ok || ent.n != n {
+		e.mu.Unlock()
 		return "", false, fmt.Errorf("%w: topology key %q", ErrNotFound, topoKey)
 	}
 	if len(e.priors) >= e.maxPriors {
 		delete(e.priors, lruKey(e.priors, func(p *priorEntry) int64 { return p.lastUse }))
 		e.regEvic++
 	}
-	e.priors[handle] = &priorEntry{topoKey: topoKey, state: canonical, prior: prior, lastUse: e.tick}
+	p := &priorEntry{topoKey: topoKey, state: canonical, prior: prior, lastUse: e.tick}
+	e.priors[handle] = p
+	e.mu.Unlock()
+	e.putPriorRecord(handle, p)
 	return handle, true, nil
 }
 
@@ -684,48 +950,37 @@ func (e *Engine) topologyInfoLocked(key string) TopologyInfo {
 // Topology returns one registered topology's listing entry, failing
 // with ErrNotFound for unknown (or evicted) keys.
 func (e *Engine) Topology(key string) (TopologyInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.topos[key]
-	if !ok {
+	if _, ok := e.lookupTopo(key); !ok {
 		return TopologyInfo{}, fmt.Errorf("%w: topology key %q", ErrNotFound, key)
 	}
-	e.tick++
-	ent.lastUse = e.tick
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.topos[key]; !ok { // evicted between lookup and lock
+		return TopologyInfo{}, fmt.Errorf("%w: topology key %q", ErrNotFound, key)
+	}
 	return e.topologyInfoLocked(key), nil
 }
 
 // resolveSession maps a SessionSpec's handles to the live resources:
 // the registered topology's pooled estimator and the registered prior.
 func (e *Engine) resolveSession(s SessionSpec) (*estimation.Estimator, *routing.Matrix, estimation.Prior, error) {
-	e.mu.Lock()
-	ent, ok := e.topos[s.Topology]
+	ent, ok := e.lookupTopo(s.Topology)
 	if !ok {
-		e.mu.Unlock()
 		return nil, nil, nil, fmt.Errorf("%w: topology key %q", ErrNotFound, s.Topology)
 	}
-	e.tick++
-	ent.lastUse = e.tick
-	spec := ent.spec
-	p, ok := e.priors[s.Prior]
+	p, ok := e.lookupPrior(s.Prior)
 	if !ok {
-		e.mu.Unlock()
 		return nil, nil, nil, fmt.Errorf("%w: prior handle %q", ErrNotFound, s.Prior)
 	}
 	if p.topoKey != s.Topology {
-		e.mu.Unlock()
 		return nil, nil, nil, fmt.Errorf("%w: prior handle %q is registered for topology %q, not %q",
 			ErrNotFound, s.Prior, p.topoKey, s.Topology)
 	}
-	p.lastUse = e.tick
-	prior := p.prior
-	e.mu.Unlock()
-
-	est, rm, err := e.estimatorFor(spec)
+	est, rm, err := e.estimatorFor(ent.spec)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%w: %v", ErrStream, err)
 	}
-	return est, rm, prior, nil
+	return est, rm, p.prior, nil
 }
 
 // Stream is one open estimation stream: submit bins, read estimates in
@@ -907,6 +1162,112 @@ func (e *Engine) EstimateBatchInline(ctx context.Context, spec StreamSpec, bins 
 	return drainBatch(stream, bins), nil
 }
 
+// WarmStart repopulates the registries and the solver pool from the
+// attached store: every stored topology registration is adopted, with
+// its routing matrix decoded straight into the solver pool, and every
+// stored prior record re-validated and re-instantiated — so a restarted
+// replica serves all previously registered sessions without a single
+// routing.Build. Damaged or stale records are skipped (the store counts
+// them as corrupt); registrations beyond the LRU bounds stay on disk,
+// where registry read-through finds them on demand. Call before serving
+// traffic; it returns the number of topologies and priors restored.
+func (e *Engine) WarmStart() (topos, priors int, err error) {
+	if e.store == nil {
+		return 0, 0, errors.New("serve: warm start requires an attached store (WithStore)")
+	}
+	err = e.store.EachJSON(nsTopologies, func(payload []byte) error {
+		var rec topologyRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" || rec.N <= 0 {
+			return nil // checksum-valid but semantically damaged: skip
+		}
+		canonical := rec.Spec.Key()
+		e.mu.Lock()
+		if _, ok := e.topos[rec.Key]; ok {
+			e.mu.Unlock()
+			return nil
+		}
+		if len(e.topos) >= e.maxTopologies {
+			// Leave the remainder on disk instead of thrashing the LRU:
+			// lookupTopo loads any of them on first use.
+			e.mu.Unlock()
+			return nil
+		}
+		e.tick++
+		e.topos[rec.Key] = &topoEntry{
+			spec: rec.Spec, canonical: canonical, n: rec.N,
+			version: rec.Version, base: rec.Base, lastUse: e.tick,
+		}
+		e.mu.Unlock()
+		e.warmSolver(rec.Spec)
+		topos++
+		return nil
+	})
+	if err != nil {
+		return topos, priors, err
+	}
+	err = e.store.EachJSON(nsPriors, func(payload []byte) error {
+		var rec priorRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Handle == "" {
+			return nil
+		}
+		// lookupPrior does the full adoption dance — owning topology
+		// resolution, state re-validation, handle recomputation — so warm
+		// start cannot admit a record that live traffic would reject.
+		if _, ok := e.lookupPrior(rec.Handle); ok {
+			priors++
+		}
+		return nil
+	})
+	return topos, priors, err
+}
+
+// warmSolver fills the solver pool entry for a spec from the store
+// alone: the graph is rebuilt from the descriptor (cheap and
+// deterministic, so its edge order matches the stored matrix), the
+// routing matrix decoded from its blob, the estimator constructed over
+// it — never a routing.Build. On any miss the pool is left cold for
+// entryFor's lazy path. Reports whether the entry is warm.
+func (e *Engine) warmSolver(spec topology.Spec) bool {
+	key := spec.Key()
+	e.mu.Lock()
+	if _, ok := e.solvers[key]; ok {
+		e.mu.Unlock()
+		return true
+	}
+	full := len(e.solvers) >= e.maxTopologies
+	e.mu.Unlock()
+	if full {
+		return false
+	}
+
+	g, err := spec.Build()
+	if err != nil {
+		return false
+	}
+	rm := e.storedMatrix(key, g)
+	if rm == nil {
+		return false
+	}
+	est, err := estimation.NewEstimator(rm)
+	if err != nil {
+		return false
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.solvers[key]; ok {
+		return true
+	}
+	if len(e.solvers) >= e.maxTopologies {
+		return false
+	}
+	e.tick++
+	warm := &solverEntry{g: g, rm: rm, est: est, lastUse: e.tick}
+	warm.once.Do(func() {})
+	e.solvers[key] = warm
+	return true
+}
+
 // Stats returns a telemetry snapshot.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -916,7 +1277,7 @@ func (e *Engine) Stats() Stats {
 	regPriors := len(e.priors)
 	regEvic := e.regEvic
 	e.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Workers:                parallel.Resolve(e.workers),
 		Topologies:             topologies,
 		TopologiesEvicted:      evicted,
@@ -934,7 +1295,14 @@ func (e *Engine) Stats() Stats {
 		DegradedBins:           e.degraded.Load(),
 		LinksDropped:           e.dropped.Load(),
 		PriorFallbacks:         e.priorFB.Load(),
+		RoutingBuilds:          e.builds.Load(),
 	}
+	if e.store != nil {
+		c := e.store.Counters()
+		s.StoreHits, s.StoreMisses, s.StoreCorrupt = c.Hits, c.Misses, c.Corrupt
+		s.StoreWrites, s.StoreWriteErrors = c.Writes, c.WriteErrors
+	}
+	return s
 }
 
 // SpecDims resolves a topology descriptor to its observation dimensions
