@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Atomicfield guards the stats-counter concurrency contract (the
+// serve/store hit/miss/panic counters): a struct field that is touched
+// through sync/atomic anywhere in the package must be touched that way
+// everywhere — one plain `s.n++` next to an `atomic.AddInt64(&s.n, 1)`
+// is a data race the race detector only sees on the schedules that
+// happen to collide. Two rules:
+//
+//   - a field passed by address to a sync/atomic function
+//     (Add/Load/Store/Swap/CompareAndSwap families) must have no other
+//     plain read or write in the package;
+//   - a field of an atomic box type (atomic.Int64, atomic.Bool, ...)
+//     may only appear as the receiver of its methods or have its
+//     address taken — any value use is a copy of the box, which
+//     detaches it from the shared counter.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must never be accessed plainly elsewhere",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	// Phase 1: find fields whose address feeds a sync/atomic call, and
+	// remember the exact selector nodes sanctioned by those calls.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> one atomic-use site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fieldSel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass, fieldSel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call.Pos()
+					}
+					sanctioned[fieldSel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: every other access to those fields is plain, and every
+	// value use of an atomic-box field is a detach-by-copy.
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldOf(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if site, ok := atomicFields[fv]; ok && !sanctioned[sel] {
+				p := pass.Fset.Position(site)
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic at %s:%d; mixing plain and atomic access is a data race",
+					fv.Name(), filepath.Base(p.Filename), p.Line)
+				return true
+			}
+			if isAtomicBoxType(fv.Type()) && !boxUseSanctioned(sel, stack) {
+				pass.Reportf(sel.Pos(),
+					"field %s has atomic type %s and must be used only through its methods; a value use copies the box and detaches it from the shared counter",
+					fv.Name(), fv.Type())
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj().(*types.Var)
+	}
+	return nil
+}
+
+// isAtomicBoxType reports whether t is one of sync/atomic's box types
+// (atomic.Int64, atomic.Bool, atomic.Value, ...).
+func isAtomicBoxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// boxUseSanctioned reports whether the selector of an atomic-box field
+// appears in a sanctioned position: as the receiver of a method
+// selection (s.n.Load()), with its address taken (&s.n), or as the
+// base of a deeper selection.
+func boxUseSanctioned(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			return ast.Unparen(parent.X) == sel
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND && ast.Unparen(parent.X) == sel
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Detsource enforces the repository's determinism contract at its
+// root: inside the deterministic packages — the ones whose outputs are
+// pinned bitwise by golden files and workers=1≡8 tests — every source
+// of randomness or ambient process state is forbidden. Randomness must
+// flow through internal/rng (New/Derive/DeriveIndex streams keyed by
+// scenario seed), and configuration must arrive through parameters,
+// never the environment or the wall clock.
+var Detsource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbid ambient nondeterminism (math/rand, time.Now, os.Getenv, ...) in deterministic packages",
+	Run:  runDetsource,
+}
+
+// deterministicPkgs names the packages under the contract, matched by
+// the final element of the import path (so the fixture corpus can pose
+// as one). internal/rng itself is deliberately absent: it is the one
+// blessed randomness source.
+var deterministicPkgs = map[string]bool{
+	"estimation": true,
+	"linalg":     true,
+	"routing":    true,
+	"topology":   true,
+	"synth":      true,
+	"faults":     true,
+	"tm":         true,
+	"fit":        true,
+}
+
+// forbiddenImports are packages that embody ambient nondeterminism:
+// global-state PRNGs and the kernel entropy pool. Any use at all is a
+// violation, so the import line is the right place to flag.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use internal/rng streams (rng.New / Derive / DeriveIndex) keyed by the scenario seed",
+	"math/rand/v2": "use internal/rng streams (rng.New / Derive / DeriveIndex) keyed by the scenario seed",
+	"crypto/rand":  "kernel entropy is unreproducible; use internal/rng streams keyed by the scenario seed",
+}
+
+// forbiddenFuncs are individual stdlib functions that read ambient
+// state (clock, environment, process identity). Importing their
+// packages is fine — time.Duration arithmetic is everywhere — but
+// calling these inside a deterministic package is not.
+var forbiddenFuncs = map[[2]string]string{
+	{"time", "Now"}:     "the wall clock is ambient state; thread timestamps through explicitly",
+	{"time", "Since"}:   "the wall clock is ambient state; thread timestamps through explicitly",
+	{"time", "Until"}:   "the wall clock is ambient state; thread timestamps through explicitly",
+	{"os", "Getenv"}:    "the environment is ambient configuration; pass it through explicitly",
+	{"os", "LookupEnv"}: "the environment is ambient configuration; pass it through explicitly",
+	{"os", "Environ"}:   "the environment is ambient configuration; pass it through explicitly",
+	{"os", "Hostname"}:  "host identity is ambient state; pass it through explicitly",
+	{"os", "Getpid"}:    "process identity is ambient state; pass it through explicitly",
+}
+
+func runDetsource(pass *Pass) {
+	parts := strings.Split(pass.Pkg.Path(), "/")
+	if !deterministicPkgs[parts[len(parts)-1]] {
+		return
+	}
+
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "nondeterministic import %q in deterministic package %s: %s",
+					path, pass.Pkg.Name(), why)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			key := [2]string{obj.Pkg().Path(), obj.Name()}
+			if why, ok := forbiddenFuncs[key]; ok {
+				pass.Reportf(sel.Pos(), "%s.%s in deterministic package %s: %s",
+					key[0], key[1], pass.Pkg.Name(), why)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errsentinel enforces the error-matching discipline: the repository's
+// exported Err* sentinels are wrapped (`fmt.Errorf("...: %w", ErrX)`)
+// at every layer, so identity comparison breaks the moment a wrap is
+// added. The analyzer flags:
+//
+//   - `==` / `!=` against an exported Err* sentinel variable (use
+//     errors.Is);
+//   - `switch err { case ErrX: ... }` on an error value listing a
+//     sentinel (a == chain in disguise);
+//   - comparing or substring-matching `err.Error()` text (use
+//     errors.Is / errors.As; rendered text is not an API).
+//
+// Method bodies with the standard `Is(target error) bool` signature
+// are exempt: that is the one place identity comparison against a
+// sentinel is the point (e.g. serve's bareBadRequest).
+var Errsentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "require errors.Is/errors.As for Err* sentinels; forbid == and err.Error() string matching",
+	Run:  runErrsentinel,
+}
+
+// stringMatchFuncs are strings-package predicates that, applied to
+// err.Error(), amount to matching rendered error text.
+var stringMatchFuncs = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+}
+
+func runErrsentinel(pass *Pass) {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			// The Is(target error) bool allowlist: skip the whole body.
+			if fd, ok := n.(*ast.FuncDecl); ok && isIsMethod(pass, fd) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// isIsMethod reports whether fd has the errors.Is protocol shape:
+// func (T) Is(target error) bool.
+func isIsMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	res, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && res.Kind() == types.Bool && isErrorType(sig.Params().At(0).Type())
+}
+
+func checkBinary(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name, ok := sentinelRef(pass, side); ok {
+			pass.Reportf(be.Pos(), "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is", name, be.Op)
+			return
+		}
+	}
+	// err.Error() ==/!= <string expression>.
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if isErrorTextCall(pass, side) {
+			pass.Reportf(be.Pos(), "matching err.Error() text with %s is not an API; use errors.Is or errors.As", be.Op)
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if isErrorTextCall(pass, sw.Tag) {
+		pass.Reportf(sw.Tag.Pos(), "switching on err.Error() text matches a rendering, not an error; use errors.Is or errors.As")
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if name, ok := sentinelRef(pass, expr); ok {
+				pass.Reportf(expr.Pos(), "switch case compares against sentinel %s with ==, which breaks once the error is wrapped; use an errors.Is chain", name)
+			}
+		}
+	}
+}
+
+// checkStringMatch flags strings.Contains(err.Error(), ...) and kin.
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "strings" || !stringMatchFuncs[obj.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "strings.%s over err.Error() matches rendered error text; use errors.Is or errors.As", obj.Name())
+			return
+		}
+	}
+}
+
+// sentinelRef reports whether e references an exported package-level
+// Err* variable of error type, returning its display name.
+func sentinelRef(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	display := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+		display = e.Name
+	case *ast.SelectorExpr:
+		id = e.Sel
+		if x, ok := e.X.(*ast.Ident); ok {
+			display = x.Name + "." + e.Sel.Name
+		} else {
+			display = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || v.IsField() {
+		return "", false
+	}
+	// Package-level variable (not a local shadowing the name).
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || v.Name() == "Err" {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return display, true
+}
+
+// isErrorTextCall reports whether e is a call of the Error() method on
+// an error value.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isErrorType(tv.Type)
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder guards the ordered-output contract behind every golden test
+// in the repository: Go randomizes map iteration order, so a loop over
+// a map must not make that order observable. The analyzer flags, inside
+// `for ... range m` bodies where m is a map:
+//
+//   - appends to a slice declared outside the loop, unless the same
+//     slice is visibly sorted later in the enclosing function (the
+//     collect-then-sort idiom is the sanctioned pattern);
+//   - sends on any channel (the receiver observes arrival order);
+//   - direct output via fmt printing functions;
+//   - `+=` accumulation into an outer string (concatenation order is
+//     the map order) or an outer float (float addition is not
+//     associative, so even a sum is bitwise order-dependent — the
+//     workers=1≡8 contract forbids exactly this).
+//
+// Integer accumulation is exact and commutative, and writes into outer
+// maps or indexed slots are position- not order-addressed, so those
+// stay legal.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body leaks Go's randomized map order into output",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn := funcFor(append(stack, rs))
+			checkMapRange(pass, rs, fn)
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one map-range body; fn is the enclosing
+// function node (for the sorted-later exemption), possibly nil.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports its own findings; don't
+			// double-report its body from the outer loop.
+			if n != rs {
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "send on a channel inside map iteration: the receiver observes randomized map order; collect and sort first")
+		case *ast.CallExpr:
+			if fun, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					name := obj.Name()
+					if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+						pass.Reportf(n.Pos(), "fmt.%s inside map iteration writes output in randomized map order; collect and sort first", name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, fn, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, fn ast.Node, as *ast.AssignStmt) {
+	// `+=` into an outer string or float accumulator.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := declaredOutside(pass, id, rs); obj != nil {
+				switch b := obj.Type().Underlying().(type) {
+				case *types.Basic:
+					if b.Info()&types.IsString != 0 {
+						pass.Reportf(as.Pos(), "string concatenation into %s inside map iteration depends on randomized map order; collect and sort first", id.Name)
+					} else if b.Info()&types.IsFloat != 0 {
+						pass.Reportf(as.Pos(), "float accumulation into %s inside map iteration is bitwise order-dependent (float addition is not associative); sum over sorted keys", id.Name)
+					}
+				}
+			}
+		}
+	}
+
+	// `s = append(s, ...)` where s is declared outside the loop.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fnIdent, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.Info.Uses[fnIdent].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		var lhs ast.Expr
+		if len(as.Lhs) == len(as.Rhs) {
+			lhs = as.Lhs[i]
+		} else if len(as.Rhs) == 1 {
+			lhs = as.Lhs[0]
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := declaredOutside(pass, id, rs)
+		if obj == nil {
+			continue
+		}
+		if sortedAfter(pass, fn, rs, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s inside map iteration records randomized map order and %s is never sorted afterwards; sort it or iterate sorted keys", id.Name, id.Name)
+	}
+}
+
+// declaredOutside resolves id to a variable declared outside the range
+// statement, or nil.
+func declaredOutside(pass *Pass, id *ast.Ident, rs *ast.RangeStmt) types.Object {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil
+	}
+	return obj
+}
+
+// sortFuncs are calls that establish a deterministic order over their
+// first argument.
+var sortFuncs = map[[2]string]bool{
+	{"sort", "Strings"}:          true,
+	{"sort", "Ints"}:             true,
+	{"sort", "Float64s"}:         true,
+	{"sort", "Slice"}:            true,
+	{"sort", "SliceStable"}:      true,
+	{"sort", "Sort"}:             true,
+	{"sort", "Stable"}:           true,
+	{"slices", "Sort"}:           true,
+	{"slices", "SortFunc"}:       true,
+	{"slices", "SortStableFunc"}: true,
+}
+
+// sortedAfter reports whether, somewhere after the range statement in
+// the enclosing function, obj is passed as the first argument of a
+// recognized sort call — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || !sortFuncs[[2]string{f.Pkg().Path(), f.Name()}] {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolscope guards the pooled-scratch contract from the warm-path work:
+// a value checked out of a sync.Pool is owned only for the duration of
+// the call that Get it, and must go back via Put. Storing it anywhere
+// that outlives the call defeats the pool and — because the next Get
+// may hand the same object to another goroutine — is a latent data
+// race. The analyzer tracks, per function, the values produced by
+// (*sync.Pool).Get (through type assertions and simple local
+// reassignment) and flags:
+//
+//   - returning a pooled value;
+//   - storing one in a struct field, map/slice element, or
+//     package-level variable;
+//   - sending one on a channel.
+//
+// Passing a pooled value down the call stack as an argument stays
+// legal — that is how scratch is used.
+var Poolscope = &Analyzer{
+	Name: "poolscope",
+	Doc:  "sync.Pool values must not escape the retrieving call: no returns, field stores, or sends",
+	Run:  runPoolscope,
+}
+
+func runPoolscope(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPoolFunc(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkPoolFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get.
+func isPoolGet(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Name() != "Get" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// unwrapPooled strips type assertions and parens: pool.Get().(*T) is
+// still the pooled value.
+func unwrapPooled(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: find Get results — taint locals they are assigned to,
+	// and flag direct escapes (return pool.Get(), s.f = pool.Get()).
+	tainted := make(map[*types.Var]bool)
+	taintLHS := func(lhs ast.Expr, pos ast.Node) {
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				return
+			}
+			obj := pass.Info.Defs[lhs]
+			if obj == nil {
+				obj = pass.Info.Uses[lhs]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					pass.Reportf(pos.Pos(), "sync.Pool value stored in package-level variable %s outlives the retrieving call; keep it local and Put it back", v.Name())
+					return
+				}
+				tainted[v] = true
+			}
+		case *ast.SelectorExpr:
+			pass.Reportf(pos.Pos(), "sync.Pool value stored in struct field %s escapes the retrieving call; keep it local and Put it back", lhs.Sel.Name)
+		case *ast.IndexExpr:
+			pass.Reportf(pos.Pos(), "sync.Pool value stored in a container element escapes the retrieving call; keep it local and Put it back")
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions get their own pass
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := unwrapPooled(n.Rhs[0]).(*ast.CallExpr); ok && isPoolGet(pass, call) {
+					taintLHS(n.Lhs[0], n) // v, ok := p.Get().(*T): value is Lhs[0]
+				}
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := unwrapPooled(rhs).(*ast.CallExpr); ok && isPoolGet(pass, call) {
+					taintLHS(n.Lhs[i], n)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range n.Values {
+				if call, ok := unwrapPooled(val).(*ast.CallExpr); ok && isPoolGet(pass, call) && i < len(n.Names) {
+					taintLHS(n.Names[i], n)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := unwrapPooled(res).(*ast.CallExpr); ok && isPoolGet(pass, call) {
+					pass.Reportf(n.Pos(), "sync.Pool value returned from the retrieving function escapes its owner; Put it back before returning")
+				}
+			}
+		case *ast.SendStmt:
+			if call, ok := unwrapPooled(n.Value).(*ast.CallExpr); ok && isPoolGet(pass, call) {
+				pass.Reportf(n.Pos(), "sync.Pool value sent on a channel hands pooled scratch to another goroutine; keep it local and Put it back")
+			}
+		}
+		return true
+	})
+
+	// Pass 2: propagate taint through simple local copies (w := v),
+	// to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src, ok := unwrapPooled(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				sv, ok := pass.Info.Uses[src].(*types.Var)
+				if !ok || !tainted[sv] {
+					continue
+				}
+				dst, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[dst]
+				if obj == nil {
+					obj = pass.Info.Uses[dst]
+				}
+				if dv, ok := obj.(*types.Var); ok && !tainted[dv] {
+					tainted[dv] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: flag escapes of tainted locals.
+	taintedIdent := func(e ast.Expr) (*types.Var, bool) {
+		id, ok := unwrapPooled(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !tainted[v] {
+			return nil, false
+		}
+		return v, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v, ok := taintedIdent(res); ok {
+					pass.Reportf(n.Pos(), "sync.Pool value %s returned from the retrieving function escapes its owner; Put it back before returning", v.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if v, ok := taintedIdent(n.Value); ok {
+				pass.Reportf(n.Pos(), "sync.Pool value %s sent on a channel hands pooled scratch to another goroutine; keep it local and Put it back", v.Name())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				v, ok := taintedIdent(rhs)
+				if !ok {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					if fieldOf(pass, lhs) != nil {
+						pass.Reportf(n.Pos(), "sync.Pool value %s stored in struct field %s escapes the retrieving call; keep it local and Put it back", v.Name(), lhs.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "sync.Pool value %s stored in a container element escapes the retrieving call; keep it local and Put it back", v.Name())
+				case *ast.Ident:
+					if pv, ok := pass.Info.Uses[lhs].(*types.Var); ok && pv.Pkg() != nil && pv.Parent() == pv.Pkg().Scope() {
+						pass.Reportf(n.Pos(), "sync.Pool value %s stored in package-level variable %s outlives the retrieving call; keep it local and Put it back", v.Name(), pv.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,50 @@
+// Package atomicfield seeds mixed plain/atomic access to the same
+// struct field — the data-race shape the atomicfield analyzer exists
+// to catch on the serve/store stats counters.
+package atomicfield
+
+import "sync/atomic"
+
+// counters mixes a plainly-typed field driven through sync/atomic
+// functions with an atomic box-type field.
+type counters struct {
+	hits   int64        // touched via atomic.AddInt64: plain access elsewhere is a race
+	misses atomic.Int64 // box type: methods only
+	name   string       // never atomic; plain access stays legal
+}
+
+// Hit is the sanctioned atomic increment.
+func (c *counters) Hit() { atomic.AddInt64(&c.hits, 1) }
+
+// Hits is the sanctioned atomic read.
+func (c *counters) Hits() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Race reads the atomically-written field plainly.
+func (c *counters) Race() int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+// RacyIncrement writes it plainly.
+func (c *counters) RacyIncrement() {
+	c.hits++ // want `plain access to field hits`
+}
+
+// Miss uses the box's methods: sanctioned.
+func (c *counters) Miss() { c.misses.Add(1) }
+
+// Misses reads through the box's methods: sanctioned.
+func (c *counters) Misses() int64 { return c.misses.Load() }
+
+// Snapshot copies the box, detaching the copy from the shared counter.
+func (c *counters) Snapshot() atomic.Int64 {
+	return c.misses // want `field misses has atomic type`
+}
+
+// Name is plain access to a plain field: fine.
+func (c *counters) Name() string { return c.name }
+
+// Allowed demonstrates suppression on a single-threaded reset path.
+func (c *counters) Allowed() {
+	//iclint:ignore atomicfield corpus demo: called before any goroutine starts
+	c.hits = 0
+}

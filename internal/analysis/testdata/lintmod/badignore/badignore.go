@@ -1,0 +1,22 @@
+// Package badignore exercises directive validation: an unexplained or
+// misspelled suppression is itself a diagnostic (from the driver, not
+// suppressible), so annotations cannot silently rot.
+package badignore
+
+// Empty has a directive with no analyzer and no reason.
+func Empty() int {
+	//iclint:ignore
+	return 1
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() int {
+	//iclint:ignore nosuchanalyzer because typos happen
+	return 2
+}
+
+// NoReason names a real analyzer but gives no reason.
+func NoReason() int {
+	//iclint:ignore maporder
+	return 3
+}

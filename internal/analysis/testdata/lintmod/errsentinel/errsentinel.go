@@ -1,0 +1,81 @@
+// Package errsentinel seeds identity comparisons and error-text
+// matching against exported Err* sentinels, plus the patterns the
+// analyzer must keep allowing (errors.Is, the Is-method protocol).
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Exported sentinels like the real tree's serve.ErrNotFound and kin:
+// wrapped at every layer, so identity comparison is one wrap away from
+// silently returning false.
+var (
+	ErrNotFound = errors.New("errsentinel: not found")
+	ErrStale    = errors.New("errsentinel: stale")
+)
+
+// Lookup wraps the sentinel, which is exactly why == must not be used.
+func Lookup(key string) error {
+	if key == "" {
+		return fmt.Errorf("lookup %q: %w", key, ErrNotFound)
+	}
+	return nil
+}
+
+// BadEqual compares sentinel identity.
+func BadEqual(err error) bool {
+	return err == ErrNotFound // want `comparing against sentinel ErrNotFound`
+}
+
+// BadNotEqual does the same with !=.
+func BadNotEqual(err error) bool {
+	if err != ErrStale { // want `comparing against sentinel ErrStale`
+		return true
+	}
+	return false
+}
+
+// BadSwitch is a == chain in disguise.
+func BadSwitch(err error) int {
+	switch err {
+	case ErrNotFound: // want `switch case compares against sentinel ErrNotFound`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// BadText matches rendered error text.
+func BadText(err error) bool {
+	return err.Error() == "errsentinel: not found" // want `matching err.Error\(\) text`
+}
+
+// BadContains substring-matches rendered error text.
+func BadContains(err error) bool {
+	return strings.Contains(err.Error(), "not found") // want `strings.Contains over err.Error\(\)`
+}
+
+// Good matches through wrap layers, as the contract requires.
+func Good(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// GoodNilCheck is untouched: nil is not a sentinel.
+func GoodNilCheck(err error) bool { return err == nil }
+
+// bareErr has the Is(target error) bool protocol shape: identity
+// comparison against sentinels is the point there (the allowlist that
+// covers serve's bareBadRequest in the real tree).
+type bareErr struct{ msg string }
+
+func (e bareErr) Error() string { return e.msg }
+
+func (e bareErr) Is(target error) bool { return target == ErrNotFound }
+
+// Allowed demonstrates suppression of a deliberate identity check.
+func Allowed(err error) bool {
+	//iclint:ignore errsentinel corpus demo: unwrapped comparison at the boundary that mints the sentinel
+	return err == ErrStale
+}

@@ -1,0 +1,38 @@
+// Package synth poses as one of the repository's deterministic
+// packages (its import path ends in a contracted name) so detsource
+// fires on it. Every `// want` comment is a seeded violation the
+// analyzer must report; lines without one must stay silent.
+package synth
+
+import (
+	"fmt"
+	"math/rand" // want `nondeterministic import "math/rand"`
+	"os"
+	"time"
+)
+
+// Jitter is ambient-nondeterministic three ways over.
+func Jitter() float64 {
+	if os.Getenv("SYNTH_JITTER") != "" { // want `os.Getenv in deterministic package`
+		return 1
+	}
+	now := time.Now() // want `time.Now in deterministic package`
+	_ = now
+	return rand.Float64()
+}
+
+// Elapsed measures against the ambient clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+// Seeded demonstrates a standalone-line suppression: the directive on
+// the line above covers the clock read below, so nothing is reported.
+func Seeded() int64 {
+	//iclint:ignore detsource corpus demo: directive on the line above the finding
+	return time.Now().UnixNano()
+}
+
+// Format is deterministic: importing time for its types and fmt for
+// formatting is fine, only the ambient-state calls are contracted.
+func Format(d time.Duration) string { return fmt.Sprintf("%v", d) }

@@ -1,0 +1,115 @@
+// Package maporder seeds map-iteration-order leaks for the maporder
+// analyzer, next to each sanctioned pattern it must stay silent on.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks map order: the collected slice is never sorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedLater collects in one loop and sorts further down the
+// function: still sanctioned — the order is established before use.
+func SortedLater(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	_ = total
+	return keys
+}
+
+// Print writes output in map order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration`
+	}
+}
+
+// Send hands map order to a receiver.
+func Send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send on a channel inside map iteration`
+	}
+}
+
+// SumFloat is bitwise order-dependent: float addition is not
+// associative, so the sum depends on Go's randomized map order.
+func SumFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+// Concat accumulates text in map order.
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into s`
+	}
+	return s
+}
+
+// SumInt is exact and commutative: allowed.
+func SumInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes into an outer map: position-addressed, not
+// order-addressed, so it is allowed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Local appends to a slice scoped inside the loop body: allowed.
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Allowed demonstrates an end-of-line suppression with a reason.
+func Allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //iclint:ignore maporder corpus demo: consumer treats out as a set
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package poolscope seeds sync.Pool lifetime violations — pooled
+// scratch escaping the call that checked it out — next to the
+// get/use/put shape the analyzer must keep allowing.
+package poolscope
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+type solver struct {
+	pool  sync.Pool
+	stash *scratch
+}
+
+var global *scratch
+
+// BadReturn returns the pooled value directly from the Get call.
+func (s *solver) BadReturn() *scratch {
+	return s.pool.Get().(*scratch) // want `returned from the retrieving function`
+}
+
+// BadReturnLocal returns it through a chain of locals.
+func (s *solver) BadReturnLocal() *scratch {
+	sc := s.pool.Get().(*scratch)
+	cp := sc
+	return cp // want `sync.Pool value cp returned`
+}
+
+// BadField stashes the pooled value in a struct field.
+func (s *solver) BadField() {
+	s.stash = s.pool.Get().(*scratch) // want `stored in struct field stash`
+}
+
+// BadFieldLocal stores a tainted local in a field.
+func (s *solver) BadFieldLocal() {
+	sc := s.pool.Get().(*scratch)
+	s.stash = sc // want `sync.Pool value sc stored in struct field stash`
+}
+
+// BadGlobal parks the pooled value in a package-level variable.
+func (s *solver) BadGlobal() {
+	global = s.pool.Get().(*scratch) // want `stored in package-level variable global`
+}
+
+// BadSend hands pooled scratch to another goroutine.
+func (s *solver) BadSend(ch chan *scratch) {
+	ch <- s.pool.Get().(*scratch) // want `sent on a channel`
+}
+
+// Good is the contract shape: check out, use locally, hand down the
+// stack as an argument, put back.
+func (s *solver) Good(n int) float64 {
+	sc, ok := s.pool.Get().(*scratch)
+	if !ok {
+		sc = &scratch{}
+	}
+	defer s.pool.Put(sc)
+	if cap(sc.buf) < n {
+		sc.buf = make([]float64, n)
+	}
+	return use(sc, n)
+}
+
+func use(sc *scratch, n int) float64 {
+	sum := 0.0
+	for _, v := range sc.buf[:n] {
+		sum += v
+	}
+	return sum
+}
+
+// Allowed demonstrates suppression of the accessor-pair idiom the real
+// tree uses (estimation's getScratch/putScratch).
+func (s *solver) Allowed() *scratch {
+	if sc, ok := s.pool.Get().(*scratch); ok {
+		//iclint:ignore poolscope corpus demo: accessor pair, caller puts the scratch back
+		return sc
+	}
+	return &scratch{}
+}

@@ -1,0 +1,51 @@
+// Package suppressed carries one annotated violation per applicable
+// analyzer: every finding is covered by an //iclint:ignore directive
+// with a reason, so the whole suite must be silent here. cmd/iclint's
+// suppression test runs over just this package and asserts a zero
+// exit with empty output.
+package suppressed
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrGone is a sentinel for the suppressed identity comparison below.
+var ErrGone = errors.New("suppressed: gone")
+
+type box struct {
+	n    int64
+	pool sync.Pool
+}
+
+// MapOrder would leak map order, but the consumer treats it as a set.
+func MapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //iclint:ignore maporder membership only, order never observed
+	}
+	return out
+}
+
+// Identity compares the sentinel where it is minted, never wrapped.
+func Identity(err error) bool {
+	//iclint:ignore errsentinel compared at the boundary that mints it, never wrapped
+	return err == ErrGone
+}
+
+// Reset writes the atomic field plainly during single-threaded setup.
+func (b *box) Reset() {
+	atomic.AddInt64(&b.n, 0)
+	//iclint:ignore atomicfield constructor path, no goroutines yet
+	b.n = 0
+}
+
+// Checkout is the accessor-pair idiom: the caller puts it back.
+func (b *box) Checkout() *int {
+	if v, ok := b.pool.Get().(*int); ok {
+		//iclint:ignore poolscope accessor pair, caller returns it via Put
+		return v
+	}
+	return new(int)
+}

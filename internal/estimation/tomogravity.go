@@ -71,6 +71,7 @@ type solveScratch struct {
 // struct only on first use per worker).
 func (s *Solver) getScratch() *solveScratch {
 	if sc, ok := s.scratch.Get().(*solveScratch); ok {
+		//iclint:ignore poolscope accessor pair: every getScratch is matched by a deferred putScratch in the same solve
 		return sc
 	}
 	return &solveScratch{}

@@ -97,6 +97,7 @@ func Build(g *topology.Graph) (*Matrix, error) {
 					return nil, fmt.Errorf("routing: pair (%d,%d): %w", i, j, err)
 				}
 				for eid, f := range frac {
+					//iclint:ignore maporder NewSparse sorts entries by (row,col) and rejects duplicates, so append order cannot reach the CSR
 					entries = append(entries, linalg.Coord{Row: eid, Col: col, Val: f})
 				}
 			}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -274,6 +273,7 @@ func (h *handler) recoverPanics(next http.Handler) http.Handler {
 			if p == nil {
 				return
 			}
+			//iclint:ignore errsentinel recovered panic values are compared by identity per the net/http ErrAbortHandler contract; p is any, not error
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
@@ -424,11 +424,11 @@ func (h *handler) registerTopology(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, TopologyRegistration{Key: key, N: n, Created: created})
 }
 
-// listTopologies implements GET /v2/topologies.
+// listTopologies implements GET /v2/topologies. Engine.Topologies
+// returns its entries already sorted by key, so the wire bytes are
+// deterministic without a re-sort here.
 func (h *handler) listTopologies(w http.ResponseWriter, r *http.Request) {
-	topos := h.engine.Topologies()
-	sort.Slice(topos, func(i, j int) bool { return topos[i].Key < topos[j].Key })
-	writeJSON(w, http.StatusOK, TopologyList{Topologies: topos})
+	writeJSON(w, http.StatusOK, TopologyList{Topologies: h.engine.Topologies()})
 }
 
 // getTopology implements GET /v2/topologies/{key}.

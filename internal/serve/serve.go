@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -646,13 +647,19 @@ func (e *Engine) PatchTopology(key string, delta topology.Delta) (PatchResult, e
 	// Carry the base's priors: same n, so the validated instances stay
 	// correct — only the owning key (and therefore the handle) changes.
 	// Collect first: inserting while ranging over the map would be racy
-	// bookkeeping.
+	// bookkeeping. Sort by canonical state so the insertion (and any
+	// capacity eviction it triggers) happens in a deterministic order,
+	// not Go's randomized map order — state bytes are unique per prior
+	// of one topology, since the handle is their hash.
 	var carry []*priorEntry
 	for _, p := range e.priors {
 		if p.topoKey == key {
 			carry = append(carry, p)
 		}
 	}
+	sort.Slice(carry, func(i, j int) bool {
+		return bytes.Compare(carry[i].state, carry[j].state) < 0
+	})
 	carried := make(map[string]*priorEntry)
 	for _, p := range carry {
 		h := priorHandle(derivedKey, p.state)
@@ -691,7 +698,10 @@ func lruKey[E any](m map[string]E, lastUse func(E) int64) string {
 	var key string
 	lru := int64(1<<63 - 1)
 	for k, ent := range m {
-		if t := lastUse(ent); t < lru {
+		// Tie-break equal timestamps by key so the evicted entry is a
+		// function of the map's contents, not of Go's randomized map
+		// iteration order.
+		if t := lastUse(ent); t < lru || (t == lru && (key == "" || k < key)) {
 			lru, key = t, k
 		}
 	}
@@ -923,12 +933,19 @@ func (e *Engine) RegisterPrior(topoKey string, state estimation.PriorState) (han
 }
 
 // Topologies lists the registered topologies (not the anonymous pool
-// entries the v1 inline path creates), sorted by key at the HTTP layer.
+// entries the v1 inline path creates), sorted by key: listing output
+// is deterministic at the source instead of relying on every caller
+// to re-sort Go's randomized map order.
 func (e *Engine) Topologies() []TopologyInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]TopologyInfo, 0, len(e.topos))
+	keys := make([]string, 0, len(e.topos))
 	for key := range e.topos {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]TopologyInfo, 0, len(keys))
+	for _, key := range keys {
 		out = append(out, e.topologyInfoLocked(key))
 	}
 	return out
